@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benchmark binaries: each
+ * binary prints the rows/series of one table or figure of the paper,
+ * in a machine-greppable format
+ * (`<figure>,<series>,<x>,<value>` CSV plus a human-readable header).
+ */
+
+#ifndef CXLMEMO_BENCH_BENCH_COMMON_HH
+#define CXLMEMO_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+
+namespace cxlmemo
+{
+namespace bench
+{
+
+inline void
+banner(const char *figure, const char *caption)
+{
+    std::printf("==========================================================\n");
+    std::printf("%s: %s\n", figure, caption);
+    std::printf("==========================================================\n");
+}
+
+inline void
+note(const char *text)
+{
+    std::printf("-- %s\n", text);
+}
+
+} // namespace bench
+} // namespace cxlmemo
+
+#endif // CXLMEMO_BENCH_BENCH_COMMON_HH

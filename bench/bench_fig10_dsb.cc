@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 10 reproduction: DeathStarBench social-network p99 latency
+ * vs QPS with the databases (post storage + timeline caches) pinned
+ * to local DDR5 or to CXL memory; plus the memory breakdown by
+ * component functionality (rightmost panel).
+ *
+ * Workloads: compose-post, read-user-timeline, and the mixed workload
+ * (60% read-home-timeline / 30% read-user-timeline / 10% compose).
+ * Read-home-timeline alone is omitted, as in the paper, because it
+ * never touches the databases.
+ */
+
+#include <vector>
+
+#include "apps/dsb/dsb.hh"
+#include "bench_common.hh"
+
+using namespace cxlmemo;
+using namespace cxlmemo::dsb;
+
+int
+main()
+{
+    bench::banner("Figure 10",
+                  "DeathStarBench p99 latency (ms) and memory breakdown");
+
+    struct Workload
+    {
+        const char *name;
+        double compose, readUser, readHome;
+        std::vector<double> qps;
+    };
+    const Workload workloads[] = {
+        {"compose-post", 1.0, 0.0, 0.0, {500, 1500, 3000, 4500}},
+        {"read-user-timeline", 0.0, 1.0, 0.0, {1000, 2500, 4000, 5000}},
+        {"mixed-60/30/10", 0.1, 0.3, 0.6, {2000, 4000, 6000, 7000}},
+    };
+
+    for (const Workload &w : workloads) {
+        std::printf("\n[%s]\n", w.name);
+        std::printf("%8s %12s %12s\n", "qps", "p99 ddr5", "p99 cxl");
+        for (double q : w.qps) {
+            const DsbRunResult ddr =
+                runDsb(w.compose, w.readUser, w.readHome, false, q, 0.8);
+            const DsbRunResult cxl =
+                runDsb(w.compose, w.readUser, w.readHome, true, q, 0.8);
+            auto headline = [&](const DsbRunResult &r) {
+                if (w.compose == 1.0)
+                    return r.p99ComposeMs;
+                if (w.readUser == 1.0)
+                    return r.p99ReadUserMs;
+                return r.p99ComposeMs; // mixed: report the gap-bearing
+                                       // class (compose)
+            };
+            std::printf("%8.0f %12.2f %12.2f\n", q, headline(ddr),
+                        headline(cxl));
+            std::printf("fig10,%s,%.0f,%.2f,%.2f\n", w.name, q,
+                        headline(ddr), headline(cxl));
+            if (w.compose < 1.0 && w.readUser < 1.0) {
+                std::printf(
+                    "         mixed detail ddr5: C=%.2f U=%.2f H=%.2f | "
+                    "cxl: C=%.2f U=%.2f H=%.2f\n",
+                    ddr.p99ComposeMs, ddr.p99ReadUserMs,
+                    ddr.p99ReadHomeMs, cxl.p99ComposeMs,
+                    cxl.p99ReadUserMs, cxl.p99ReadHomeMs);
+            }
+        }
+    }
+
+    std::printf("\n[memory breakdown by functionality]\n");
+    {
+        Machine m(Testbed::SingleSocketCxl);
+        SocialNetwork app(m, DsbParams{},
+                          MemPolicy::membind(m.localNode()));
+        for (const auto &[name, bytes] : app.memoryBreakdown()) {
+            std::printf("  %-26s %6.2f GiB\n", name.c_str(),
+                        static_cast<double>(bytes)
+                            / static_cast<double>(giB));
+            std::printf("fig10mem,%s,%llu\n", name.c_str(),
+                        (unsigned long long)bytes);
+        }
+    }
+    bench::note("paper: visible tail-latency gap for compose-post "
+                "(database-heavy); little to none for read-user-"
+                "timeline (nginx-dominated); mixed workload saturates "
+                "at a similar point for both placements");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 2 reproduction: access latency per instruction type
+ * (AVX-512 load after flush, temporal store + clwb, non-temporal
+ * store + sfence, sequential pointer chase) on DDR5-L8, DDR5-R1 and
+ * CXL memory, plus the pointer-chase working-set-size sweep that
+ * crosses the cache hierarchy. Prefetching is disabled throughout,
+ * as in the paper.
+ */
+
+#include <vector>
+
+#include "bench_common.hh"
+#include "memo/memo.hh"
+
+using namespace cxlmemo;
+
+int
+main()
+{
+    bench::banner("Figure 2",
+                  "Access latency (ns): ld / st+wb / nt-st / ptr-chase");
+
+    std::printf("%-10s %10s %10s %10s %12s\n", "series", "ld", "st+wb",
+                "nt-st", "ptr-chase");
+    memo::LatencyResult local{};
+    memo::LatencyResult cxl{};
+    for (auto target : {memo::Target::Ddr5Local, memo::Target::Ddr5Remote,
+                        memo::Target::Cxl}) {
+        const memo::LatencyResult r = memo::runLatency(target);
+        if (target == memo::Target::Ddr5Local)
+            local = r;
+        if (target == memo::Target::Cxl)
+            cxl = r;
+        std::printf("%-10s %10.1f %10.1f %10.1f %12.1f\n",
+                    memo::targetName(target), r.loadNs, r.storeWbNs,
+                    r.ntStoreNs, r.ptrChaseNs);
+        std::printf("fig2,%s,ld,%.1f\n", memo::targetName(target),
+                    r.loadNs);
+        std::printf("fig2,%s,st+wb,%.1f\n", memo::targetName(target),
+                    r.storeWbNs);
+        std::printf("fig2,%s,nt-st,%.1f\n", memo::targetName(target),
+                    r.ntStoreNs);
+        std::printf("fig2,%s,ptr-chase,%.1f\n", memo::targetName(target),
+                    r.ptrChaseNs);
+    }
+    std::printf("\n");
+    bench::note("paper: CXL ld ~2.2x DDR5-L8; CXL ptr-chase ~3.7x "
+                "DDR5-L8 and ~2.2x DDR5-R1; nt-st far below st+wb");
+    std::printf("measured ratios: ld %.2fx, ptr-chase %.2fx (vs L8)\n\n",
+                cxl.loadNs / local.loadNs,
+                cxl.ptrChaseNs / local.ptrChaseNs);
+
+    bench::banner("Figure 2 (right)",
+                  "Pointer-chase latency vs working-set size (ns)");
+    const std::vector<std::uint64_t> wss = {
+        16 * kiB,  32 * kiB,  256 * kiB, 1 * miB,  4 * miB,
+        16 * miB,  48 * miB,  128 * miB, 512 * miB,
+    };
+    std::printf("%-10s", "wss");
+    for (std::uint64_t w : wss) {
+        if (w < miB)
+            std::printf(" %7lluK", (unsigned long long)(w / kiB));
+        else
+            std::printf(" %7lluM", (unsigned long long)(w / miB));
+    }
+    std::printf("\n");
+    for (auto target : {memo::Target::Ddr5Local, memo::Target::Ddr5Remote,
+                        memo::Target::Cxl}) {
+        const auto lat = memo::runPtrChaseWssSweep(target, wss);
+        std::printf("%-10s", memo::targetName(target));
+        for (double v : lat)
+            std::printf(" %8.1f", v);
+        std::printf("\n");
+        for (std::size_t i = 0; i < wss.size(); ++i) {
+            std::printf("fig2wss,%s,%llu,%.1f\n",
+                        memo::targetName(target),
+                        (unsigned long long)wss[i], lat[i]);
+        }
+    }
+    bench::note("expect: flat L1/L2/LLC plateaus, then the per-target "
+                "memory latency once WSS exceeds the 60 MiB LLC");
+    return 0;
+}

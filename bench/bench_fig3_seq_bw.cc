@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 3 reproduction: sequential-access bandwidth vs thread count
+ * for load / temporal store / non-temporal store on (a) 8-channel
+ * local DDR5, (b) CXL memory, (c) 1-channel remote DDR5.
+ */
+
+#include <vector>
+
+#include "bench_common.hh"
+#include "memo/memo.hh"
+
+using namespace cxlmemo;
+
+int
+main()
+{
+    bench::banner("Figure 3",
+                  "Sequential access bandwidth (GB/s) vs thread count");
+
+    const std::vector<std::uint32_t> threads = {1,  2,  4,  8, 12,
+                                                16, 20, 24, 28, 32};
+    struct Panel
+    {
+        memo::Target target;
+        const char *caption;
+    };
+    const Panel panels[] = {
+        {memo::Target::Ddr5Local, "(a) DDR5-L8"},
+        {memo::Target::Cxl, "(b) CXL memory"},
+        {memo::Target::Ddr5Remote, "(c) DDR5-R1"},
+    };
+    struct Instr
+    {
+        MemOp::Kind kind;
+        const char *name;
+    };
+    const Instr instrs[] = {
+        {MemOp::Kind::Load, "load"},
+        {MemOp::Kind::Store, "store"},
+        {MemOp::Kind::NtStore, "nt-store"},
+    };
+
+    for (const Panel &panel : panels) {
+        std::printf("\n%s\n", panel.caption);
+        std::printf("%-10s", "threads");
+        for (std::uint32_t t : threads)
+            std::printf(" %6u", t);
+        std::printf("\n");
+        for (const Instr &in : instrs) {
+            std::vector<double> row;
+            row.reserve(threads.size());
+            for (std::uint32_t t : threads)
+                row.push_back(
+                    memo::runSeqBandwidth(panel.target, in.kind, t));
+            std::printf("%-10s", in.name);
+            for (double bw : row)
+                std::printf(" %6.1f", bw);
+            std::printf("\n");
+            for (std::size_t i = 0; i < threads.size(); ++i) {
+                std::printf("fig3,%s,%s,%u,%.1f\n",
+                            memo::targetName(panel.target), in.name,
+                            threads[i], row[i]);
+            }
+        }
+        if (panel.target == memo::Target::Cxl) {
+            bench::note("grey dash line of the paper: DDR4-2666 "
+                        "theoretical max = 21.3 GB/s");
+        }
+    }
+    std::printf("\n");
+    bench::note("paper: L8 load peaks ~221 GB/s @ ~26 thr; L8 nt-store "
+                "~170 GB/s @ ~16 thr; CXL load peaks ~8 thr then drops "
+                "toward ~17; CXL nt-store peaks at 2 thr then collapses");
+    return 0;
+}

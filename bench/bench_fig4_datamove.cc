@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 4 reproduction: data-movement bandwidth between local DDR5
+ * ("D") and CXL memory ("C").
+ *
+ *  (a) movdir64B copy bandwidth vs thread count for D2D / D2C /
+ *      C2D / C2C;
+ *  (b) single-thread copy throughput: memcpy, movdir64B, and Intel
+ *      DSA synchronous / asynchronous with batch sizes 1, 16, 128.
+ */
+
+#include <vector>
+
+#include "bench_common.hh"
+#include "memo/memo.hh"
+
+using namespace cxlmemo;
+
+int
+main()
+{
+    const memo::CopyPath paths[] = {
+        memo::CopyPath::D2D, memo::CopyPath::D2C, memo::CopyPath::C2D,
+        memo::CopyPath::C2C};
+
+    bench::banner("Figure 4a",
+                  "movdir64B data movement bandwidth (GB/s)");
+    const std::vector<std::uint32_t> threads = {1, 2, 4, 8};
+    std::printf("%-8s", "threads");
+    for (auto p : paths)
+        std::printf(" %8s", memo::copyPathName(p));
+    std::printf("\n");
+    for (std::uint32_t t : threads) {
+        std::vector<double> row;
+        for (auto p : paths)
+            row.push_back(memo::runMovdirBandwidth(p, t));
+        std::printf("%-8u", t);
+        for (double bw : row)
+            std::printf(" %8.2f", bw);
+        std::printf("\n");
+        for (std::size_t i = 0; i < 4; ++i)
+            std::printf("fig4a,%s,%u,%.2f\n", memo::copyPathName(paths[i]),
+                        t, row[i]);
+    }
+    bench::note("paper: D2* similar and higher; C2* lower, C2C lowest "
+                "(slow CXL loads gate the copy)");
+
+    bench::banner("Figure 4b",
+                  "Single-thread copy throughput (GB/s), 4 KiB blocks");
+    struct Method
+    {
+        memo::CopyMethod method;
+        std::uint32_t batch;
+        const char *name;
+    };
+    const Method methods[] = {
+        {memo::CopyMethod::Memcpy, 1, "memcpy"},
+        {memo::CopyMethod::Movdir64, 1, "movdir64B"},
+        {memo::CopyMethod::DsaSync, 1, "dsa-sync-b1"},
+        {memo::CopyMethod::DsaAsync, 1, "dsa-async-b1"},
+        {memo::CopyMethod::DsaAsync, 16, "dsa-async-b16"},
+        {memo::CopyMethod::DsaAsync, 128, "dsa-async-b128"},
+    };
+    std::printf("%-16s", "method");
+    for (auto p : paths)
+        std::printf(" %8s", memo::copyPathName(p));
+    std::printf("\n");
+    for (const Method &m : methods) {
+        std::vector<double> row;
+        for (auto p : paths)
+            row.push_back(memo::runCopyBandwidth(p, m.method, m.batch));
+        std::printf("%-16s", m.name);
+        for (double bw : row)
+            std::printf(" %8.2f", bw);
+        std::printf("\n");
+        for (std::size_t i = 0; i < 4; ++i)
+            std::printf("fig4b,%s,%s,%.2f\n", m.name,
+                        memo::copyPathName(paths[i]), row[i]);
+    }
+    bench::note("paper: sync-b1 DSA ~ CPU memcpy; any asynchronicity or "
+                "batching improves; C2D beats D2C (writes land on the "
+                "faster DRAM); splitting src/dst beats C2C");
+    return 0;
+}

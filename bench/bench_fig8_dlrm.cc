@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 8 reproduction: DLRM embedding-reduction throughput vs
+ * thread count for tables on 8-channel DDR5, CXL memory, remote
+ * 1-channel DDR5, and DRAM:CXL weighted interleaves (3.23% and 50%
+ * on CXL); plus throughput normalized to DRAM at 32 threads.
+ */
+
+#include <vector>
+
+#include "apps/dlrm/dlrm.hh"
+#include "bench_common.hh"
+
+using namespace cxlmemo;
+using namespace cxlmemo::dlrm;
+
+namespace
+{
+
+double
+point(const char *series, std::uint32_t threads)
+{
+    DlrmParams p;
+    if (std::string(series) == "ddr5-r1") {
+        Machine m(Testbed::DualSocket);
+        return runInferenceThroughput(
+            m, p, MemPolicy::membind(m.remoteNode()), threads);
+    }
+    double frac = 0.0;
+    if (std::string(series) == "cxl")
+        frac = 1.0;
+    else if (std::string(series) == "cxl-3.23%")
+        frac = 0.0323;
+    else if (std::string(series) == "cxl-50%")
+        frac = 0.5;
+    Machine m(Testbed::SingleSocketCxl);
+    return runInferenceThroughput(
+        m, p, MemPolicy::splitDramCxl(m.localNode(), m.cxlNode(), frac),
+        threads);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 8",
+                  "DLRM embedding-reduction throughput vs threads");
+
+    const char *series[] = {"ddr5-l8", "cxl", "ddr5-r1", "cxl-3.23%",
+                            "cxl-50%"};
+    const std::vector<std::uint32_t> threads = {1, 2, 4, 8, 12, 16,
+                                                20, 24, 28, 32};
+
+    std::printf("%-12s", "series\\thr");
+    for (std::uint32_t t : threads)
+        std::printf(" %8u", t);
+    std::printf("\n");
+
+    double at32[5] = {};
+    int idx = 0;
+    for (const char *s : series) {
+        std::vector<double> row;
+        for (std::uint32_t t : threads)
+            row.push_back(point(s, t));
+        at32[idx++] = row.back();
+        std::printf("%-12s", s);
+        for (double v : row)
+            std::printf(" %8.0f", v);
+        std::printf("\n");
+        for (std::size_t i = 0; i < threads.size(); ++i)
+            std::printf("fig8,%s,%u,%.0f\n", s, threads[i], row[i]);
+    }
+
+    std::printf("\nNormalized to DDR5-L8 at 32 threads:\n");
+    for (int i = 0; i < 5; ++i) {
+        std::printf("  %-12s %.3f\n", series[i], at32[i] / at32[0]);
+        std::printf("fig8norm,%s,%.3f\n", series[i], at32[i] / at32[0]);
+    }
+    bench::note("paper: DDR5-L8 scales linearly beyond 32 threads; CXL "
+                "and R1 flatten early (random-bandwidth bound); less "
+                "CXL interleave -> higher throughput, but even 3.23% "
+                "does not beat pure DRAM");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 9 reproduction: DLRM embedding reduction confined to one
+ * SNC quadrant (2 DDR5 channels + 15 MiB LLC slice) -- a memory-
+ * bandwidth-bound configuration -- with partial CXL interleaving added.
+ * The paper's headline: at 32 threads, putting 20% of the tables on
+ * CXL memory raises throughput by ~11% over SNC-only.
+ */
+
+#include <vector>
+
+#include "apps/dlrm/dlrm.hh"
+#include "bench_common.hh"
+
+using namespace cxlmemo;
+using namespace cxlmemo::dlrm;
+
+int
+main()
+{
+    bench::banner("Figure 9",
+                  "DLRM throughput under SNC (2 channels) + CXL");
+
+    const std::vector<std::uint32_t> threads = {4, 8, 12, 16, 20,
+                                                24, 28, 32};
+    struct Series
+    {
+        double frac;
+        const char *name;
+    };
+    const Series series[] = {
+        {0.0, "snc-only"},
+        {0.0323, "cxl-3.23%"},
+        {0.1, "cxl-10%"},
+        {0.2, "cxl-20%"},
+        {0.5, "cxl-50%"},
+    };
+
+    std::printf("%-12s", "series\\thr");
+    for (std::uint32_t t : threads)
+        std::printf(" %8u", t);
+    std::printf("\n");
+
+    DlrmParams p;
+    double snc32 = 0.0;
+    double cxl20_32 = 0.0;
+    for (const Series &s : series) {
+        std::vector<double> row;
+        for (std::uint32_t t : threads) {
+            Machine m(Testbed::SncQuadrantCxl);
+            row.push_back(runInferenceThroughput(
+                m, p,
+                MemPolicy::splitDramCxl(m.localNode(), m.cxlNode(),
+                                        s.frac),
+                t));
+        }
+        if (s.frac == 0.0)
+            snc32 = row.back();
+        if (s.frac == 0.2)
+            cxl20_32 = row.back();
+        std::printf("%-12s", s.name);
+        for (double v : row)
+            std::printf(" %8.0f", v);
+        std::printf("\n");
+        for (std::size_t i = 0; i < threads.size(); ++i)
+            std::printf("fig9,%s,%u,%.0f\n", s.name, threads[i], row[i]);
+    }
+    std::printf("\nAt 32 threads, 20%% on CXL vs SNC-only: %+.1f%%\n",
+                (cxl20_32 / snc32 - 1.0) * 100.0);
+    bench::note("paper: SNC stops scaling linearly after ~24 threads; "
+                "interleaving to CXL then adds bandwidth, +11% at 32 "
+                "threads with 20% on CXL");
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Section 6 reproduction: "Best Practices for CXL memory". Each of
+ * the paper's guidelines is verified by a measurement on the
+ * simulated testbed, printed as guideline / evidence / verdict.
+ */
+
+#include <cstdio>
+
+#include "apps/dlrm/dlrm.hh"
+#include "apps/dsb/dsb.hh"
+#include "apps/kvstore/kvstore.hh"
+#include "bench_common.hh"
+#include "memo/memo.hh"
+
+using namespace cxlmemo;
+
+namespace
+{
+
+void
+verdict(const char *guideline, const char *evidence, bool holds)
+{
+    std::printf("[%s] %s\n    evidence: %s\n\n", holds ? "HOLDS" : "FAILS",
+                guideline, evidence);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section 6", "Best practices, verified by measurement");
+    char buf[256];
+
+    // 1. Use nt-store / movdir64B when moving data from/to CXL.
+    {
+        const double st = memo::runSeqBandwidth(memo::Target::Cxl,
+                                                MemOp::Kind::Store, 2);
+        const double nt = memo::runSeqBandwidth(memo::Target::Cxl,
+                                                MemOp::Kind::NtStore, 2);
+        std::snprintf(buf, sizeof(buf),
+                      "2-thread CXL write: temporal %.1f GB/s vs "
+                      "nt-store %.1f GB/s (%.1fx)",
+                      st, nt, nt / st);
+        verdict("use nt-store/movdir64B toward CXL memory", buf,
+                nt > 1.5 * st);
+    }
+
+    // 2. Limit the number of threads writing to CXL concurrently.
+    {
+        const double nt2 = memo::runSeqBandwidth(memo::Target::Cxl,
+                                                 MemOp::Kind::NtStore, 2);
+        const double nt16 = memo::runSeqBandwidth(
+            memo::Target::Cxl, MemOp::Kind::NtStore, 16);
+        std::snprintf(buf, sizeof(buf),
+                      "CXL nt-store: 2 threads %.1f GB/s, 16 threads "
+                      "%.1f GB/s",
+                      nt2, nt16);
+        verdict("limit concurrent writers to CXL memory", buf,
+                nt2 > nt16);
+    }
+
+    // 3. Use Intel DSA for bulk movement.
+    {
+        const double cpu = memo::runCopyBandwidth(
+            memo::CopyPath::D2C, memo::CopyMethod::Movdir64);
+        const double dsa = memo::runCopyBandwidth(
+            memo::CopyPath::D2C, memo::CopyMethod::DsaAsync, 16);
+        std::snprintf(buf, sizeof(buf),
+                      "D2C bulk copy: best CPU method %.1f GB/s vs DSA "
+                      "batched %.1f GB/s",
+                      cpu, dsa);
+        verdict("use Intel DSA for bulk movement", buf, dsa > 2 * cpu);
+    }
+
+    // 4. Interleave to spread bandwidth when DRAM is the bottleneck.
+    {
+        dlrm::DlrmParams p;
+        Machine snc(Testbed::SncQuadrantCxl);
+        const double only = dlrm::runInferenceThroughput(
+            snc, p, MemPolicy::membind(snc.localNode()), 32);
+        Machine mix(Testbed::SncQuadrantCxl);
+        const double with20 = dlrm::runInferenceThroughput(
+            mix, p,
+            MemPolicy::splitDramCxl(mix.localNode(), mix.cxlNode(), 0.2),
+            32);
+        std::snprintf(buf, sizeof(buf),
+                      "bandwidth-bound DLRM (SNC): %.0f -> %.0f inf/s "
+                      "with 20%% on CXL (%+.1f%%)",
+                      only, with20, (with20 / only - 1) * 100);
+        verdict("interleave across DRAM+CXL to add bandwidth", buf,
+                with20 > only);
+    }
+
+    // 5. Avoid running us-latency applications entirely on CXL.
+    {
+        const double dram =
+            kv::maxSustainableQps(kv::YcsbWorkload::a(), 0.0, 0.15);
+        const double cxl =
+            kv::maxSustainableQps(kv::YcsbWorkload::a(), 1.0, 0.15);
+        std::snprintf(buf, sizeof(buf),
+                      "Redis max QPS: DRAM %.0f vs all-CXL %.0f "
+                      "(-%.0f%%)",
+                      dram, cxl, (1 - cxl / dram) * 100);
+        verdict("keep us-latency databases off CXL", buf,
+                cxl < 0.9 * dram);
+    }
+
+    // 6. Microservices are good offloading candidates.
+    {
+        const dsb::DsbRunResult ddr =
+            dsb::runDsb(0.1, 0.3, 0.6, false, 4000, 0.5);
+        const dsb::DsbRunResult cxl =
+            dsb::runDsb(0.1, 0.3, 0.6, true, 4000, 0.5);
+        std::snprintf(buf, sizeof(buf),
+                      "mixed social network @4kQPS: read-user p99 "
+                      "%.2f vs %.2f ms with DBs on CXL",
+                      ddr.p99ReadUserMs, cxl.p99ReadUserMs);
+        verdict("offload ms-latency microservice state to CXL", buf,
+                cxl.p99ReadUserMs < 1.1 * ddr.p99ReadUserMs);
+    }
+
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Loaded-latency companion study (not a numbered paper figure, but
+ * the canonical bandwidth-latency characterization that underlies the
+ * paper's Sec. 4 narrative): a dependent-load probe measures average
+ * access latency while an increasing number of background threads
+ * stream loads from the same memory. Shows how quickly each target's
+ * latency inflates as its bandwidth headroom vanishes -- the knee is
+ * much earlier on the single-channel CXL/remote paths.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+#include "memo/memo.hh"
+
+using namespace cxlmemo;
+
+int
+main()
+{
+    bench::banner("Loaded latency",
+                  "probe latency (ns) vs background load threads");
+
+    const std::vector<std::uint32_t> threads = {1, 2, 4, 8, 12, 16, 24};
+    std::printf("%-10s", "target");
+    for (std::uint32_t t : threads)
+        std::printf(" %7u", t);
+    std::printf("\n");
+    for (auto target : {memo::Target::Ddr5Local, memo::Target::Ddr5Remote,
+                        memo::Target::Cxl}) {
+        std::vector<double> row;
+        for (std::uint32_t t : threads)
+            row.push_back(memo::runLoadedLatency(target, t));
+        std::printf("%-10s", memo::targetName(target));
+        for (double v : row)
+            std::printf(" %7.1f", v);
+        std::printf("\n");
+        for (std::size_t i = 0; i < threads.size(); ++i)
+            std::printf("loaded,%s,%u,%.1f\n",
+                        memo::targetName(target), threads[i], row[i]);
+    }
+    bench::note("expect: DDR5-L8 stays near idle latency well past 16 "
+                "threads; CXL/R1 inflate once their single channel "
+                "saturates (~4-8 threads)");
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Simulator-engine performance benchmarks (Google Benchmark): how
+ * fast the framework itself executes events, channel transactions and
+ * cache lookups. These bound how much simulated time the figure
+ * benches can afford and guard against performance regressions in
+ * the hot paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cpu/streams.hh"
+#include "mem/dram.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "system/machine.hh"
+
+using namespace cxlmemo;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int batch = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < batch; ++i)
+            eq.schedule(static_cast<Tick>(i), [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+void
+BM_RngDraws(benchmark::State &state)
+{
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.below(1000003));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngDraws);
+
+void
+BM_ZipfianDraws(benchmark::State &state)
+{
+    Rng rng(7);
+    ZipfianGenerator z(1'000'000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(z.next(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfianDraws);
+
+void
+BM_DramChannelRandomReads(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        DramChannel ch(eq, DramChannelParams{});
+        Rng rng(3);
+        std::uint64_t completed = 0;
+        std::function<void()> issue = [&] {
+            if (completed >= 20000)
+                return;
+            MemRequest r;
+            r.addr = rng.below(1u << 26) & ~Addr(63);
+            r.size = cachelineBytes;
+            r.cmd = MemCmd::Read;
+            r.onComplete = [&](Tick) {
+                ++completed;
+                issue();
+            };
+            ch.access(std::move(r));
+        };
+        for (int i = 0; i < 32; ++i)
+            issue();
+        eq.run();
+        benchmark::DoNotOptimize(completed);
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_DramChannelRandomReads);
+
+void
+BM_EndToEndSequentialLoads(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        Machine m(Testbed::SingleSocketCxl);
+        NumaBuffer buf = m.numa().alloc(
+            64 * miB, MemPolicy::membind(m.localNode()));
+        auto t = m.makeThread(0);
+        state.ResumeTiming();
+
+        t->start(std::make_unique<SequentialStream>(
+                     buf, 0, 64 * miB, 8 * miB, MemOp::Kind::Load),
+                 0, nullptr);
+        m.eq().run();
+        benchmark::DoNotOptimize(t->stats().loads);
+    }
+    state.SetItemsProcessed(state.iterations() * (8 * miB / 64));
+}
+BENCHMARK(BM_EndToEndSequentialLoads);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Table 1 reproduction: the simulated testbed configurations.
+ */
+
+#include "bench_common.hh"
+#include "system/machine.hh"
+
+using namespace cxlmemo;
+
+int
+main()
+{
+    bench::banner("Table 1", "Testbed configurations");
+    for (Testbed tb : {Testbed::SingleSocketCxl, Testbed::DualSocket,
+                       Testbed::SncQuadrantCxl}) {
+        Machine m(tb);
+        std::printf("%s\n", m.configString().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bulk page migration with Intel DSA: the paper's third guideline
+ * ("use Intel DSA for bulk memory movement from/to CXL memory").
+ *
+ * A tiering daemon demotes cold pages from DRAM to CXL and promotes
+ * hot pages back. This example migrates a 256 MiB arena both ways
+ * using (a) CPU memcpy, (b) movdir64B and (c) DSA with batched
+ * descriptors, and reports time and core occupancy -- showing why a
+ * tiering daemon should lean on the accelerator.
+ */
+
+#include <cstdio>
+
+#include "memo/memo.hh"
+
+using namespace cxlmemo;
+
+namespace
+{
+
+void
+report(const char *method, const char *direction, double gbps,
+       double arenaGiB, bool burnsCore)
+{
+    const double ms = arenaGiB * 1024.0 / gbps; // GiB at GB/s ~ ms
+    std::printf("  %-14s %-5s %7.2f GB/s  %7.1f ms  core busy: %s\n",
+                method, direction, gbps, ms, burnsCore ? "yes" : "no");
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr double arena_gib = 0.25; // 256 MiB migration batch
+    std::printf("Bulk page migration DRAM <-> CXL (256 MiB batch)\n");
+    std::printf("================================================\n");
+
+    for (auto dir : {memo::CopyPath::D2C, memo::CopyPath::C2D}) {
+        std::printf("\n%s (%s):\n", memo::copyPathName(dir),
+                    dir == memo::CopyPath::D2C ? "demotion"
+                                               : "promotion");
+        report("memcpy", memo::copyPathName(dir),
+               memo::runCopyBandwidth(dir, memo::CopyMethod::Memcpy),
+               arena_gib, true);
+        report("movdir64B", memo::copyPathName(dir),
+               memo::runCopyBandwidth(dir, memo::CopyMethod::Movdir64),
+               arena_gib, true);
+        report("dsa batch=16", memo::copyPathName(dir),
+               memo::runCopyBandwidth(dir, memo::CopyMethod::DsaAsync,
+                                      16),
+               arena_gib, false);
+        report("dsa batch=128", memo::copyPathName(dir),
+               memo::runCopyBandwidth(dir, memo::CopyMethod::DsaAsync,
+                                      128),
+               arena_gib, false);
+    }
+
+    std::printf(
+        "\nTakeaways (paper Sec. 6):\n"
+        "  - movdir64B avoids RFO and cache pollution vs memcpy\n"
+        "  - DSA moves pages faster still, and off the cores entirely\n"
+        "  - batched descriptors amortize the offload cost\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Quickstart: characterize all three memory targets with MEMO.
+ *
+ * Builds the paper's testbeds, runs the Fig. 2 latency probes and a
+ * few Fig. 3 bandwidth points, and prints a summary -- a five-minute
+ * tour of the public API.
+ */
+
+#include <cstdio>
+
+#include "memo/memo.hh"
+#include "system/machine.hh"
+
+using namespace cxlmemo;
+
+int
+main()
+{
+    Machine overview(Testbed::SingleSocketCxl);
+    std::printf("%s\n", overview.configString().c_str());
+
+    std::printf("== Instruction latency (ns), prefetch off ==\n");
+    std::printf("%-10s %8s %8s %8s %10s\n", "target", "ld", "st+wb",
+                "nt-st", "ptr-chase");
+    for (auto target : {memo::Target::Ddr5Local, memo::Target::Ddr5Remote,
+                        memo::Target::Cxl}) {
+        const auto r = memo::runLatency(target);
+        std::printf("%-10s %8.1f %8.1f %8.1f %10.1f\n",
+                    memo::targetName(target), r.loadNs, r.storeWbNs,
+                    r.ntStoreNs, r.ptrChaseNs);
+    }
+
+    std::printf("\n== Sequential bandwidth (GB/s) ==\n");
+    std::printf("%-10s %4s %8s %8s %8s\n", "target", "thr", "load",
+                "store", "nt-store");
+    for (auto target : {memo::Target::Ddr5Local, memo::Target::Ddr5Remote,
+                        memo::Target::Cxl}) {
+        for (std::uint32_t threads : {1u, 2u, 4u, 8u, 16u, 26u, 32u}) {
+            const double ld = memo::runSeqBandwidth(
+                target, MemOp::Kind::Load, threads);
+            const double st = memo::runSeqBandwidth(
+                target, MemOp::Kind::Store, threads);
+            const double nt = memo::runSeqBandwidth(
+                target, MemOp::Kind::NtStore, threads);
+            std::printf("%-10s %4u %8.1f %8.1f %8.1f\n",
+                        memo::targetName(target), threads, ld, st, nt);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tiering-policy explorer: the paper's fourth guideline says to
+ * interleave memory across DRAM and CXL channels to spread load.
+ * This tool sweeps the DRAM:CXL weighted-interleave ratio for a
+ * bandwidth-bound workload (DLRM embedding reduction) on both the
+ * full socket and the bandwidth-starved SNC quadrant, and reports
+ * where interleaving helps and where it hurts -- a practical answer
+ * to "how much of my data should live on the CXL expander?".
+ */
+
+#include <cstdio>
+
+#include "apps/dlrm/dlrm.hh"
+#include "system/machine.hh"
+
+using namespace cxlmemo;
+using namespace cxlmemo::dlrm;
+
+namespace
+{
+
+void
+sweep(Testbed testbed, const char *label, std::uint32_t threads)
+{
+    std::printf("\n%s, %u threads (inferences/s):\n", label, threads);
+    std::printf("%10s %14s %10s\n", "cxl-share", "throughput",
+                "vs DRAM");
+    DlrmParams params;
+    double baseline = 0.0;
+    for (double frac : {0.0, 0.0323, 0.1, 0.2, 0.3, 0.5, 1.0}) {
+        Machine m(testbed);
+        const double tput = runInferenceThroughput(
+            m, params,
+            MemPolicy::splitDramCxl(m.localNode(), m.cxlNode(), frac),
+            threads);
+        if (frac == 0.0)
+            baseline = tput;
+        std::printf("%9.2f%% %14.0f %+9.1f%%\n", frac * 100.0, tput,
+                    (tput / baseline - 1.0) * 100.0);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Tiering-policy explorer: DLRM embedding reduction\n");
+    std::printf("=================================================\n");
+
+    // Full socket: 8 DDR5 channels have headroom, so every page on
+    // CXL only adds latency -- interleaving cannot win.
+    sweep(Testbed::SingleSocketCxl, "Full socket (8 channels)", 32);
+
+    // SNC quadrant: 2 channels saturate, so CXL adds *bandwidth*;
+    // a moderate share is a win, too much becomes latency-bound.
+    sweep(Testbed::SncQuadrantCxl, "SNC quadrant (2 channels)", 32);
+
+    std::printf(
+        "\nGuideline (paper Sec. 6): interleave to spread bandwidth "
+        "only when DRAM\nchannels are the bottleneck; otherwise keep "
+        "latency-critical data local.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Split the figure-regeneration output into per-exhibit CSV files.
+
+Every bench binary prints, alongside its human-readable table,
+machine-greppable lines of the form
+
+    fig3,CXL,load,8,20.6
+
+This script collects those lines from a captured run (by default
+``bench_output.txt`` at the repository root, i.e. the output of
+``for b in build/bench/*; do $b; done``) and writes one
+``<exhibit>.csv`` per figure into an output directory, ready for any
+plotting tool.
+
+Usage:
+    scripts/extract_csv.py [bench_output.txt] [-o csv/]
+"""
+
+import argparse
+import collections
+import pathlib
+import re
+import sys
+
+# Exhibit tag -> column header for the CSV it produces.
+HEADERS = {
+    "fig2": "target,instr,ns",
+    "fig2wss": "target,wss_bytes,ns",
+    "fig3": "target,instr,threads,gbps",
+    "fig4a": "path,threads,gbps",
+    "fig4b": "method,path,gbps",
+    "fig5": "target,instr,block_bytes,threads,gbps",
+    "fig6": "series,qps,p99_read_us,p99_update_us",
+    "fig7": "workload,cxl_percent,max_qps",
+    "fig8": "series,threads,inferences_per_s",
+    "fig8norm": "series,normalized",
+    "fig9": "series,threads,inferences_per_s",
+    "fig10": "workload,qps,p99_ddr5_ms,p99_cxl_ms",
+    "fig10mem": "component,bytes",
+    "loaded": "target,threads,ns",
+}
+
+TAG_RE = re.compile(r"^(fig\w+|loaded),")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("input", nargs="?", default="bench_output.txt")
+    ap.add_argument("-o", "--outdir", default="csv")
+    args = ap.parse_args()
+
+    text = pathlib.Path(args.input).read_text(errors="replace")
+    rows = collections.defaultdict(list)
+    for line in text.splitlines():
+        m = TAG_RE.match(line)
+        if not m:
+            continue
+        tag = m.group(1)
+        rows[tag].append(line[len(tag) + 1:])
+
+    if not rows:
+        print(f"no CSV lines found in {args.input}", file=sys.stderr)
+        return 1
+
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for tag, lines in sorted(rows.items()):
+        path = outdir / f"{tag}.csv"
+        header = HEADERS.get(tag)
+        with path.open("w") as f:
+            if header:
+                f.write(header + "\n")
+            f.write("\n".join(lines) + "\n")
+        print(f"wrote {path} ({len(lines)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

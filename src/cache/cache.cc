@@ -1,0 +1,137 @@
+#include "cache/cache.hh"
+
+#include <bit>
+
+namespace cxlmemo
+{
+
+namespace
+{
+
+std::uint32_t
+roundDownPow2(std::uint32_t v)
+{
+    CXLMEMO_ASSERT(v > 0, "pow2 of zero");
+    return std::uint32_t(1) << (31 - std::countl_zero(v));
+}
+
+} // namespace
+
+SetAssocCache::SetAssocCache(CacheParams params)
+    : params_(std::move(params))
+{
+    CXLMEMO_ASSERT(params_.assoc > 0, "zero associativity");
+    CXLMEMO_ASSERT(params_.sizeBytes >= cachelineBytes * params_.assoc,
+                   "cache smaller than one set");
+    const auto raw_sets = static_cast<std::uint32_t>(
+        params_.sizeBytes / (cachelineBytes * params_.assoc));
+    // Power-of-two sets keep indexing a mask, like real hardware.
+    numSets_ = roundDownPow2(raw_sets);
+    lines_.resize(static_cast<std::size_t>(numSets_) * params_.assoc);
+}
+
+std::uint32_t
+SetAssocCache::setOf(std::uint64_t lineAddr) const
+{
+    // Mix the node bits (bit 34+ of the line address) into the index
+    // so lines from different NUMA nodes do not systematically alias.
+    const std::uint64_t mixed = lineAddr ^ (lineAddr >> 17);
+    return static_cast<std::uint32_t>(mixed & (numSets_ - 1));
+}
+
+SetAssocCache::Line *
+SetAssocCache::find(std::uint64_t lineAddr)
+{
+    const std::uint32_t set = setOf(lineAddr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.state != LineState::Invalid && line.tag == lineAddr) {
+            line.lastUse = ++useClock_;
+            return &line;
+        }
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::peek(std::uint64_t lineAddr) const
+{
+    const std::uint32_t set = setOf(lineAddr);
+    const Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        const Line &line = base[w];
+        if (line.state != LineState::Invalid && line.tag == lineAddr)
+            return &line;
+    }
+    return nullptr;
+}
+
+std::optional<SetAssocCache::Victim>
+SetAssocCache::insert(std::uint64_t lineAddr, LineState state,
+                      std::uint16_t owner, bool prefetched)
+{
+    CXLMEMO_ASSERT(state != LineState::Invalid, "inserting invalid line");
+    const std::uint32_t set = setOf(lineAddr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+
+    Line *slot = nullptr;
+    Line *lru = &base[0];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.state == LineState::Invalid) {
+            slot = &line;
+            break;
+        }
+        if (line.state != LineState::Invalid && line.tag == lineAddr) {
+            // Re-insert of a present line: just merge the state.
+            line.state = state;
+            line.lastUse = ++useClock_;
+            line.owner = owner;
+            return std::nullopt;
+        }
+        if (line.lastUse < lru->lastUse)
+            lru = &line;
+    }
+
+    std::optional<Victim> victim;
+    if (!slot) {
+        victim = Victim{lru->tag, lru->state, lru->owner};
+        stats_.evictions++;
+        if (lru->state == LineState::Modified)
+            stats_.dirtyEvictions++;
+        slot = lru;
+    }
+
+    slot->tag = lineAddr;
+    slot->state = state;
+    slot->lastUse = ++useClock_;
+    slot->owner = owner;
+    slot->prefetched = prefetched;
+    return victim;
+}
+
+LineState
+SetAssocCache::invalidate(std::uint64_t lineAddr)
+{
+    const std::uint32_t set = setOf(lineAddr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.state != LineState::Invalid && line.tag == lineAddr) {
+            const LineState prior = line.state;
+            line.state = LineState::Invalid;
+            return prior;
+        }
+    }
+    return LineState::Invalid;
+}
+
+void
+SetAssocCache::flushAll()
+{
+    for (Line &line : lines_)
+        line.state = LineState::Invalid;
+}
+
+} // namespace cxlmemo

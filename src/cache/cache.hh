@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Set-associative cache tag array with MESI-lite line states.
+ *
+ * This is a functional tag store with LRU replacement; timing is
+ * applied by the CacheHierarchy that owns the levels. States are the
+ * subset of MESI the studied workloads exercise: threads in this
+ * framework do not write-share lines, so S behaves like E on a store
+ * (no cross-core invalidation round is modelled; documented in
+ * DESIGN.md).
+ */
+
+#ifndef CXLMEMO_CACHE_CACHE_HH
+#define CXLMEMO_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cxlmemo
+{
+
+/** Cacheline coherence state. */
+enum class LineState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** Geometry and timing of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 48 * kiB;
+    std::uint32_t assoc = 12;
+    /** Incremental lookup/hit latency contributed by this level. */
+    Tick latency = ticksFromNs(2.5);
+};
+
+/** Hit/miss counters for one cache level. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyEvictions = 0;
+
+    double
+    hitRate() const
+    {
+        const auto total = hits + misses;
+        return total ? static_cast<double>(hits)
+                       / static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/**
+ * The tag array of one cache. Addresses are line-granular
+ * ("line address" = physical address >> 6).
+ */
+class SetAssocCache
+{
+  public:
+    struct Line
+    {
+        std::uint64_t tag = ~std::uint64_t(0);
+        LineState state = LineState::Invalid;
+        std::uint64_t lastUse = 0;
+        /** Core that installed the line (inclusive-directory hint so
+         *  back-invalidation does not scan every core). */
+        std::uint16_t owner = 0;
+        /** Set by the prefetcher; cleared on first demand hit. */
+        bool prefetched = false;
+    };
+
+    /** A valid line displaced by insert(). */
+    struct Victim
+    {
+        std::uint64_t lineAddr;
+        LineState state;
+        std::uint16_t owner;
+    };
+
+    explicit SetAssocCache(CacheParams params);
+
+    /** @return the line if present (and update LRU), else nullptr. */
+    Line *find(std::uint64_t lineAddr);
+
+    /** Presence probe without LRU update. */
+    const Line *peek(std::uint64_t lineAddr) const;
+
+    /**
+     * Install a line, possibly displacing the set's LRU victim.
+     * @return the displaced valid line, if any.
+     */
+    std::optional<Victim> insert(std::uint64_t lineAddr, LineState state,
+                                 std::uint16_t owner,
+                                 bool prefetched = false);
+
+    /** Remove a line; @return its prior state. */
+    LineState invalidate(std::uint64_t lineAddr);
+
+    const CacheParams &params() const { return params_; }
+    CacheStats &stats() { return stats_; }
+    const CacheStats &stats() const { return stats_; }
+
+    std::uint32_t numSets() const { return numSets_; }
+
+    /** Drop every line (used between experiment repetitions). */
+    void flushAll();
+
+  private:
+    std::uint32_t setOf(std::uint64_t lineAddr) const;
+
+    CacheParams params_;
+    std::uint32_t numSets_;
+    std::vector<Line> lines_; //!< numSets_ * assoc, set-major
+    std::uint64_t useClock_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace cxlmemo
+
+#endif // CXLMEMO_CACHE_CACHE_HH

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Three-level cache hierarchy (per-core L1D and L2, shared LLC) with
+ * timing, RFO store-miss semantics, writeback traffic, cacheline
+ * flush/writeback instructions and an optional L2 stream prefetcher.
+ *
+ * Coherence scope: the studied workloads never write-share lines
+ * across cores, so cross-core invalidation rounds are not modelled
+ * (a store to an S line upgrades for free). What *is* modelled -- and
+ * what the paper's results depend on -- is the read-for-ownership
+ * fill on store misses and the dirty writeback stream on evictions,
+ * i.e. the memory-side traffic of MESI.
+ *
+ * Inclusivity: L1 and L2 are subsets of the LLC; the LLC tracks the
+ * installing core per line so back-invalidation touches exactly one
+ * core's private levels.
+ */
+
+#ifndef CXLMEMO_CACHE_HIERARCHY_HH
+#define CXLMEMO_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "numa/numa.hh"
+#include "sim/event_queue.hh"
+
+namespace cxlmemo
+{
+
+/** Geometry and timing of the whole hierarchy. */
+struct HierarchyParams
+{
+    std::uint32_t numCores = 32;
+
+    /** SPR-like defaults: 48 KiB L1D, 2 MiB L2, 60 MiB shared LLC. */
+    CacheParams l1{"l1d", 48 * kiB, 12, ticksFromNs(2.5)};
+    CacheParams l2{"l2", 2 * miB, 16, ticksFromNs(8.0)};
+    CacheParams llc{"llc", 60 * miB, 15, ticksFromNs(22.0)};
+
+    /** LLC-miss handling: CHA/home-agent and mesh hop to the memory
+     *  dispatch point (the return path is folded in as well). */
+    Tick uncoreLatency = ticksFromNs(12.0);
+
+    /** Store-buffer drain to the uncore for NT stores. */
+    Tick ntDispatchLatency = ticksFromNs(6.0);
+
+    bool prefetchEnabled = false;
+    std::uint32_t prefetchDegree = 8;
+    std::uint32_t prefetchStreams = 16;
+
+    /** Extra home-agent handshake paid by a demand miss to a recently
+     *  flushed line, on nodes with NumaNode::flushHandshake. */
+    Tick flushHandshakePenalty = ticksFromNs(70.0);
+
+    /**
+     * Optional per-core DTLB model (off by default: the paper's
+     * figures are reproducible without it, but it supplies the
+     * page-walk cost that penalizes small random blocks -- see the
+     * ablation bench). When enabled, every access pays an extra
+     * charge on an L1-TLB miss (STLB hit) or a full page walk.
+     */
+    bool tlbEnabled = false;
+    std::uint32_t l1TlbEntries = 64;
+    std::uint32_t l2TlbEntries = 1536;
+    Tick l2TlbLatency = ticksFromNs(4.0);
+    Tick pageWalkLatency = ticksFromNs(60.0);
+};
+
+/** Aggregated prefetcher counters. */
+struct PrefetchStats
+{
+    std::uint64_t issued = 0;
+    std::uint64_t usefulHits = 0;
+};
+
+/**
+ * The cache hierarchy shared by all cores of one socket, routing
+ * misses to memory devices through the NUMA space.
+ *
+ * Timing protocol: operations are issued at a caller-provided tick
+ * @p at (>= the event queue's current tick; workload threads run
+ * slightly ahead of global time while hitting in their caches). When
+ * the operation resolves without a memory access, the completion tick
+ * is *returned* and the callback is not invoked; otherwise the
+ * callback fires at completion.
+ */
+class CacheHierarchy
+{
+  public:
+    using Done = std::function<void(Tick)>;
+
+    CacheHierarchy(EventQueue &eq, NumaSpace &numa, HierarchyParams params);
+
+    /** Demand load of one cacheline. */
+    std::optional<Tick> load(std::uint16_t core, Addr paddr, Tick at,
+                             Done cb);
+
+    /** Temporal store (write-allocate, RFO on miss). */
+    std::optional<Tick> store(std::uint16_t core, Addr paddr, Tick at,
+                              Done cb);
+
+    /**
+     * Full-line non-temporal store: invalidates any cached copy and
+     * posts the line to memory.
+     * @param onAccept  fires when the write is posted (WC buffer can
+     *                  be released; backpressured by the target's
+     *                  posted-queue depth)
+     * @param onDrained fires at global observability (what an sfence
+     *                  waits for: iMC drain, or the CXL S2M NDR)
+     */
+    void ntStore(std::uint16_t core, Addr paddr, Tick at, Done onAccept,
+                 Done onDrained);
+
+    /** Cache-bypassing read (movdir64B source side); no fill. */
+    void uncachedRead(std::uint16_t core, Addr paddr, std::uint32_t size,
+                      Tick at, Done cb);
+
+    /** clflush: evict everywhere; cb when dirty data reaches memory. */
+    std::optional<Tick> flush(std::uint16_t core, Addr paddr, Tick at,
+                              Done cb);
+
+    /** clwb: write dirty data back but keep a clean copy. */
+    std::optional<Tick> clwb(std::uint16_t core, Addr paddr, Tick at,
+                             Done cb);
+
+    void setPrefetch(bool on) { params_.prefetchEnabled = on; }
+    bool prefetchEnabled() const { return params_.prefetchEnabled; }
+
+    /** Drop all cached state (between experiment repetitions). */
+    void flushAllCaches();
+
+    /**
+     * Fill the LLC with Modified lines from @p buf (an initialization
+     * shortcut to the steady state of a store-heavy workload, where
+     * every LLC fill displaces a dirty victim and produces writeback
+     * traffic). No timing events are generated; displaced lines are
+     * silently dropped.
+     */
+    void primeLlcDirty(const NumaBuffer &buf, std::uint16_t owner);
+
+    const HierarchyParams &params() const { return params_; }
+    const CacheStats &l1Stats(std::uint16_t core) const;
+    const CacheStats &l2Stats(std::uint16_t core) const;
+    const CacheStats &llcStats() const { return llc_->stats(); }
+    const PrefetchStats &prefetchStats() const { return pfStats_; }
+
+    /** TLB counters (all cores; zero when the TLB is disabled). */
+    std::uint64_t tlbWalks() const { return tlbWalks_; }
+    std::uint64_t stlbHits() const { return stlbHits_; }
+
+    NumaSpace &numa() { return numa_; }
+    EventQueue &eventQueue() { return eq_; }
+
+  private:
+    struct Stream
+    {
+        std::uint64_t nextLine = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    void fillL1(std::uint16_t core, std::uint64_t la, LineState st,
+                Tick at);
+    void fillL2(std::uint16_t core, std::uint64_t la, LineState st,
+                Tick at, bool prefetched = false);
+    void fillLlc(std::uint16_t core, std::uint64_t la, LineState st,
+                 Tick at);
+
+    /** Fetch a line from memory and fill the hierarchy. */
+    void missToMemory(std::uint16_t core, std::uint64_t la, Tick dispatch,
+                      bool rfo, Done cb);
+
+    /** Fire-and-forget dirty eviction to the line's home device. */
+    void writebackLine(std::uint64_t la, std::uint16_t source, Tick at,
+                       Done cb = nullptr);
+
+    /** Stream-prefetcher observation hook (L2 miss / prefetch hit). */
+    void observeForPrefetch(std::uint16_t core, std::uint64_t la, Tick at);
+
+    /** Address-translation charge for one access (0 on an L1-TLB
+     *  hit); updates the per-core TLB state. */
+    Tick tlbCharge(std::uint16_t core, Addr paddr);
+
+    EventQueue &eq_;
+    NumaSpace &numa_;
+    HierarchyParams params_;
+
+    std::vector<SetAssocCache> l1_;
+    std::vector<SetAssocCache> l2_;
+    std::unique_ptr<SetAssocCache> llc_;
+
+    /** Per-core TLBs, reusing the tag-array machinery (one "line"
+     *  per page translation). Empty when disabled. */
+    std::vector<SetAssocCache> l1Tlb_;
+    std::vector<SetAssocCache> l2Tlb_;
+    std::uint64_t tlbWalks_ = 0;
+    std::uint64_t stlbHits_ = 0;
+
+    std::vector<std::vector<Stream>> streams_; //!< per core
+    std::unordered_set<std::uint64_t> prefetchInFlight_;
+    std::unordered_set<std::uint64_t> recentlyFlushed_;
+    PrefetchStats pfStats_;
+    std::uint64_t streamClock_ = 0;
+};
+
+} // namespace cxlmemo
+
+#endif // CXLMEMO_CACHE_HIERARCHY_HH

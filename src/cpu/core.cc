@@ -1,0 +1,278 @@
+#include "cpu/core.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cxlmemo
+{
+
+HwThread::HwThread(CacheHierarchy &hierarchy, std::uint16_t core,
+                   CoreParams params)
+    : hier_(hierarchy),
+      eq_(hierarchy.eventQueue()),
+      core_(core),
+      params_(params)
+{
+    CXLMEMO_ASSERT(params_.loadFillBuffers > 0, "core without LFBs");
+    CXLMEMO_ASSERT(params_.wcBuffers > 0, "core without WC buffers");
+    CXLMEMO_ASSERT(params_.storeBufferEntries > 0,
+                   "core without a store buffer");
+}
+
+void
+HwThread::start(std::unique_ptr<AccessStream> stream, Tick startTick,
+                FinishFn onFinish)
+{
+    CXLMEMO_ASSERT(!running_, "thread started twice");
+    stream_ = std::move(stream);
+    onFinish_ = std::move(onFinish);
+    startTick_ = startTick;
+    localTime_ = startTick;
+    lastCompletion_ = startTick;
+    lastStoreCompletion_ = startTick;
+    lastValueReady_ = startTick;
+    running_ = true;
+    finished_ = false;
+    streamDone_ = false;
+    havePending_ = false;
+    eq_.schedule(startTick, [this] { tryIssue(); });
+}
+
+void
+HwThread::maybeFinish()
+{
+    if (!streamDone_ || outstandingAll() > 0 || finished_)
+        return;
+    finished_ = true;
+    running_ = false;
+    localTime_ = std::max(localTime_, lastCompletion_);
+    if (onFinish_)
+        onFinish_(startTick_, localTime_);
+}
+
+void
+HwThread::tryIssue()
+{
+    if (finished_)
+        return;
+    localTime_ = std::max(localTime_, eq_.curTick());
+
+    for (;;) {
+        if (!havePending_) {
+            if (streamDone_) {
+                maybeFinish();
+                return;
+            }
+            if (!stream_->next(pending_)) {
+                streamDone_ = true;
+                maybeFinish();
+                return;
+            }
+            havePending_ = true;
+        }
+
+        const MemOp &op = pending_;
+        switch (op.kind) {
+          case MemOp::Kind::Compute:
+            localTime_ += op.computeTicks;
+            havePending_ = false;
+            break;
+
+          case MemOp::Kind::Mfence:
+            if (outstandingAll() > 0)
+                return; // resume from a completion event
+            localTime_ = std::max(localTime_, lastCompletion_);
+            havePending_ = false;
+            break;
+
+          case MemOp::Kind::Sfence:
+            if (outstandingStores_ + outstandingNt_ + pendingNtDrain_
+                    + outstandingFlushes_
+                > 0) {
+                return;
+            }
+            localTime_ = std::max(localTime_, lastStoreCompletion_);
+            havePending_ = false;
+            break;
+
+          case MemOp::Kind::Load:
+          case MemOp::Kind::DependentLoad: {
+            if (op.kind == MemOp::Kind::DependentLoad) {
+                // The address depends on the previous load's data.
+                if (outstandingLoads_ > 0)
+                    return;
+                localTime_ = std::max(localTime_, lastValueReady_);
+            }
+            if (outstandingLoads_ >= params_.loadFillBuffers)
+                return;
+            localTime_ += params_.issueCost;
+            const bool dependent = op.kind == MemOp::Kind::DependentLoad;
+            stats_.loads++;
+            stats_.bytesRead += cachelineBytes;
+            auto done = hier_.load(core_, op.paddr, localTime_,
+                                   [this](Tick t) {
+                CXLMEMO_ASSERT(outstandingLoads_ > 0, "load underflow");
+                --outstandingLoads_;
+                lastCompletion_ = std::max(lastCompletion_, t);
+                lastValueReady_ = std::max(lastValueReady_, t);
+                tryIssue();
+            });
+            if (done) {
+                lastCompletion_ = std::max(lastCompletion_, *done);
+                lastValueReady_ = std::max(lastValueReady_, *done);
+                if (dependent)
+                    localTime_ = std::max(localTime_, *done);
+            } else {
+                ++outstandingLoads_;
+            }
+            havePending_ = false;
+            break;
+          }
+
+          case MemOp::Kind::Store: {
+            if (outstandingStores_ >= params_.storeBufferEntries)
+                return;
+            localTime_ += params_.issueCost;
+            stats_.stores++;
+            stats_.bytesWritten += cachelineBytes;
+            auto done = hier_.store(core_, op.paddr, localTime_,
+                                    [this](Tick t) {
+                CXLMEMO_ASSERT(outstandingStores_ > 0, "store underflow");
+                --outstandingStores_;
+                lastCompletion_ = std::max(lastCompletion_, t);
+                lastStoreCompletion_ = std::max(lastStoreCompletion_, t);
+                tryIssue();
+            });
+            if (done) {
+                lastCompletion_ = std::max(lastCompletion_, *done);
+                lastStoreCompletion_ =
+                    std::max(lastStoreCompletion_, *done);
+            } else {
+                ++outstandingStores_;
+            }
+            havePending_ = false;
+            break;
+          }
+
+          case MemOp::Kind::NtStore: {
+            if (outstandingNt_ >= params_.wcBuffers)
+                return;
+            localTime_ += params_.ntIssueCost;
+            stats_.ntStores++;
+            stats_.bytesWritten += cachelineBytes;
+            ++outstandingNt_;
+            ++pendingNtDrain_;
+            hier_.ntStore(
+                core_, op.paddr, localTime_,
+                /*onAccept=*/[this](Tick) {
+                    CXLMEMO_ASSERT(outstandingNt_ > 0, "nt underflow");
+                    --outstandingNt_;
+                    tryIssue();
+                },
+                /*onDrained=*/[this](Tick t) {
+                    CXLMEMO_ASSERT(pendingNtDrain_ > 0, "drain underflow");
+                    --pendingNtDrain_;
+                    lastCompletion_ = std::max(lastCompletion_, t);
+                    lastStoreCompletion_ =
+                        std::max(lastStoreCompletion_, t);
+                    tryIssue();
+                });
+            havePending_ = false;
+            break;
+          }
+
+          case MemOp::Kind::UncachedRead: {
+            if (outstandingLoads_ >= params_.loadFillBuffers)
+                return;
+            localTime_ += params_.issueCost;
+            stats_.uncachedReads++;
+            stats_.bytesRead += cachelineBytes;
+            ++outstandingLoads_;
+            hier_.uncachedRead(core_, op.paddr, cachelineBytes, localTime_,
+                               [this](Tick t) {
+                CXLMEMO_ASSERT(outstandingLoads_ > 0, "ucread underflow");
+                --outstandingLoads_;
+                lastCompletion_ = std::max(lastCompletion_, t);
+                lastValueReady_ = std::max(lastValueReady_, t);
+                tryIssue();
+            });
+            havePending_ = false;
+            break;
+          }
+
+          case MemOp::Kind::Movdir64: {
+            // Fused cache-bypassing copy: the destination write can
+            // only start once the source data arrives, so the op
+            // holds both a fill buffer and a WC buffer.
+            if (outstandingLoads_ >= params_.loadFillBuffers
+                || outstandingNt_ >= params_.wcBuffers) {
+                return;
+            }
+            localTime_ += params_.issueCost;
+            stats_.uncachedReads++;
+            stats_.ntStores++;
+            stats_.bytesRead += cachelineBytes;
+            stats_.bytesWritten += cachelineBytes;
+            ++outstandingLoads_;
+            ++outstandingNt_;
+            ++pendingNtDrain_;
+            const Addr dst = op.paddr2;
+            hier_.uncachedRead(core_, op.paddr, cachelineBytes,
+                               localTime_, [this, dst](Tick t) {
+                CXLMEMO_ASSERT(outstandingLoads_ > 0, "mov64 underflow");
+                --outstandingLoads_;
+                lastCompletion_ = std::max(lastCompletion_, t);
+                hier_.ntStore(
+                    core_, dst, t,
+                    /*onAccept=*/[this](Tick) {
+                        CXLMEMO_ASSERT(outstandingNt_ > 0,
+                                       "mov64 nt underflow");
+                        --outstandingNt_;
+                        tryIssue();
+                    },
+                    /*onDrained=*/[this](Tick td) {
+                        CXLMEMO_ASSERT(pendingNtDrain_ > 0,
+                                       "mov64 drain underflow");
+                        --pendingNtDrain_;
+                        lastCompletion_ =
+                            std::max(lastCompletion_, td);
+                        lastStoreCompletion_ =
+                            std::max(lastStoreCompletion_, td);
+                        tryIssue();
+                    });
+                tryIssue();
+            });
+            havePending_ = false;
+            break;
+          }
+
+          case MemOp::Kind::Flush:
+          case MemOp::Kind::Clwb: {
+            localTime_ += params_.issueCost;
+            stats_.flushes++;
+            auto cb = [this](Tick t) {
+                CXLMEMO_ASSERT(outstandingFlushes_ > 0, "flush underflow");
+                --outstandingFlushes_;
+                lastCompletion_ = std::max(lastCompletion_, t);
+                lastStoreCompletion_ = std::max(lastStoreCompletion_, t);
+                tryIssue();
+            };
+            auto done = op.kind == MemOp::Kind::Flush
+                            ? hier_.flush(core_, op.paddr, localTime_, cb)
+                            : hier_.clwb(core_, op.paddr, localTime_, cb);
+            if (done) {
+                lastCompletion_ = std::max(lastCompletion_, *done);
+                lastStoreCompletion_ =
+                    std::max(lastStoreCompletion_, *done);
+            } else {
+                ++outstandingFlushes_;
+            }
+            havePending_ = false;
+            break;
+          }
+        }
+    }
+}
+
+} // namespace cxlmemo

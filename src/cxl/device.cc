@@ -1,0 +1,174 @@
+#include "cxl/device.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cxlmemo
+{
+
+CxlMemDevice::CxlMemDevice(EventQueue &eq, CxlDeviceParams params)
+    : eq_(eq),
+      params_(std::move(params)),
+      down_(eq, params_.link),
+      up_(eq, params_.link)
+{
+    CXLMEMO_ASSERT(params_.readQueueEntries > 0, "no read trackers");
+    CXLMEMO_ASSERT(params_.writeBufferEntries > 0, "no write buffer");
+    CXLMEMO_ASSERT(params_.backendChannels > 0, "no backend channels");
+    backend_ = std::make_unique<InterleavedMemory>(
+        eq, params_.name + ".mem", params_.backend,
+        params_.backendChannels);
+}
+
+void
+CxlMemDevice::access(MemRequest req)
+{
+    if (req.cmd == MemCmd::NtWrite) {
+        if (ntPosted_ < params_.hostPostedEntries) {
+            admitPosted(std::move(req));
+        } else {
+            postedGate_.push_back(std::move(req));
+        }
+        return;
+    }
+    dispatch(std::move(req));
+}
+
+void
+CxlMemDevice::admitPosted(MemRequest req)
+{
+    ++ntPosted_;
+    if (req.onAccept) {
+        auto accept = std::move(req.onAccept);
+        const Tick now = eq_.curTick();
+        eq_.schedule(now, [accept, now] { accept(now); });
+    }
+    // The posted slot frees at the global-observability point (the
+    // S2M NDR, i.e. controller acceptance), which is when onComplete
+    // fires on the CXL write path.
+    auto drained = std::move(req.onComplete);
+    req.onComplete = [this, drained](Tick t) {
+        CXLMEMO_ASSERT(ntPosted_ > 0, "posted underflow");
+        --ntPosted_;
+        if (!postedGate_.empty()) {
+            MemRequest waiting = std::move(postedGate_.front());
+            postedGate_.pop_front();
+            admitPosted(std::move(waiting));
+        }
+        if (drained)
+            drained(t);
+    };
+    dispatch(std::move(req));
+}
+
+void
+CxlMemDevice::dispatch(MemRequest req)
+{
+    const bool write = isWrite(req.cmd);
+    const std::uint32_t cost =
+        write ? params_.link.dataBytes : params_.link.headerBytes;
+    const Tick delivered = down_.transmit(cost);
+    const Tick at_controller = delivered + params_.controllerIngress;
+    eq_.schedule(at_controller, [this, write, r = std::move(req)]() mutable {
+        if (write)
+            writeArrived(std::move(r));
+        else
+            readArrived(std::move(r));
+    });
+}
+
+void
+CxlMemDevice::readArrived(MemRequest req)
+{
+    if (readsInFlight_ < params_.readQueueEntries) {
+        admitRead(std::move(req));
+    } else {
+        ctrlStats_.readsStalled++;
+        readWaitQueue_.push(std::move(req), eq_.curTick());
+    }
+}
+
+void
+CxlMemDevice::writeArrived(MemRequest req)
+{
+    if (writesBuffered_ < params_.writeBufferEntries) {
+        admitWrite(std::move(req));
+    } else {
+        ctrlStats_.writesStalled++;
+        writeWaitQueue_.push(std::move(req), eq_.curTick());
+    }
+}
+
+void
+CxlMemDevice::admitRead(MemRequest req)
+{
+    ++readsInFlight_;
+    MemRequest backend_req;
+    backend_req.addr = req.addr;
+    backend_req.size = req.size;
+    backend_req.cmd = req.cmd;
+    backend_req.onComplete =
+        [this, cb = std::move(req.onComplete)](Tick) mutable {
+            // Data is back from DDR4: free the tracker, then pipe the
+            // response through the egress pipeline and the S2M link.
+            CXLMEMO_ASSERT(readsInFlight_ > 0, "read tracker underflow");
+            --readsInFlight_;
+            if (!readWaitQueue_.empty()) {
+                auto [waiting, since] = readWaitQueue_.pop();
+                ctrlStats_.readStallTicks += eq_.curTick() - since;
+                admitRead(std::move(waiting));
+            }
+            eq_.scheduleIn(params_.controllerEgress,
+                           [this, cb = std::move(cb)] {
+                const Tick arrive = up_.transmit(params_.link.dataBytes);
+                if (cb)
+                    eq_.schedule(arrive,
+                                 [cb, arrive] { cb(arrive); });
+            });
+        };
+    backend_->access(std::move(backend_req));
+}
+
+void
+CxlMemDevice::admitWrite(MemRequest req)
+{
+    ++writesBuffered_;
+    ctrlStats_.writeBufferHighWater =
+        std::max(ctrlStats_.writeBufferHighWater, writesBuffered_);
+
+    // CXL.mem acknowledges a write (S2M NDR) once the controller has
+    // accepted the data; draining to DDR4 happens in the background.
+    const Tick arrive = up_.transmit(params_.link.headerBytes);
+    if (req.onComplete) {
+        eq_.schedule(arrive, [cb = std::move(req.onComplete), arrive] {
+            cb(arrive);
+        });
+    }
+
+    MemRequest drain;
+    drain.addr = req.addr;
+    drain.size = req.size;
+    drain.cmd = req.cmd;
+    drain.onComplete = [this](Tick) {
+        CXLMEMO_ASSERT(writesBuffered_ > 0, "write buffer underflow");
+        --writesBuffered_;
+        if (!writeWaitQueue_.empty()) {
+            auto [waiting, since] = writeWaitQueue_.pop();
+            ctrlStats_.writeStallTicks += eq_.curTick() - since;
+            admitWrite(std::move(waiting));
+        }
+    };
+    backend_->access(std::move(drain));
+}
+
+void
+CxlMemDevice::resetStats()
+{
+    backend_->resetStats();
+    down_.resetStats();
+    up_.resetStats();
+    ctrlStats_ = CxlControllerStats{};
+}
+
+} // namespace cxlmemo

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * CXL Type-3 memory expander model: the Intel Agilex-I development
+ * kit of the paper's testbed (hardened CXL 1.1 IP, one DDR4-2666
+ * DIMM behind it).
+ *
+ * Transaction flow (paper Fig. 1):
+ *
+ *   host read:   M2S Req  --link-->  controller  -->  DDR4 channel
+ *                host  <--link--  S2M DRS (data)
+ *   host write:  M2S RwD (data) --link--> controller buffer
+ *                host  <--link--  S2M NDR (completion on acceptance)
+ *                buffer --drains--> DDR4 channel
+ *
+ * The controller tracks reads and buffered writes in *finite* queues.
+ * When the write buffer is full, incoming writes wait at the link
+ * egress -- this is the buffer-overflow behaviour the paper blames
+ * for the non-temporal-store throughput collapse beyond a few
+ * threads (Sec. 4.3.2).
+ */
+
+#ifndef CXLMEMO_CXL_DEVICE_HH
+#define CXLMEMO_CXL_DEVICE_HH
+
+#include <cstdlib>
+#include <deque>
+#include <vector>
+#include <memory>
+#include <string>
+
+#include "cxl/link.hh"
+#include "mem/dram.hh"
+#include "mem/request.hh"
+#include "sim/event_queue.hh"
+
+namespace cxlmemo
+{
+
+/** Configuration of the CXL memory device. */
+struct CxlDeviceParams
+{
+    std::string name = "cxl0";
+
+    CxlLinkParams link;
+
+    /** Controller pipeline latency, ingress direction (host->DRAM). */
+    Tick controllerIngress = ticksFromNs(40.0);
+
+    /** Controller pipeline latency, egress direction (DRAM->host). */
+    Tick controllerEgress = ticksFromNs(40.0);
+
+    /** Read tracker entries (caps device-side read MLP). */
+    std::uint32_t readQueueEntries = 48;
+
+    /** Write buffer entries (lines); writes are acknowledged on
+     *  acceptance but occupy an entry until drained to DRAM. */
+    std::uint32_t writeBufferEntries = 24;
+
+    /** Host-side posted-write slots for NT stores: how many NT writes
+     *  may be in flight (posted but not yet accepted by the device
+     *  controller) before WC-buffer release backpressures. */
+    std::uint32_t hostPostedEntries = 64;
+
+    /** Memory channels behind the controller (the Agilex kit has a
+     *  single DDR4-2666 DIMM; the paper anticipates future devices
+     *  with more channels and DRAM-class bandwidth). */
+    std::uint32_t backendChannels = 1;
+    DramChannelParams backend;
+};
+
+/** Occupancy / stall statistics of the CXL controller. */
+struct CxlControllerStats
+{
+    std::uint64_t readStallTicks = 0;  //!< reads held waiting for a tracker
+    std::uint64_t writeStallTicks = 0; //!< writes held waiting for buffer
+    std::uint64_t readsStalled = 0;
+    std::uint64_t writesStalled = 0;
+    std::uint32_t writeBufferHighWater = 0;
+};
+
+/**
+ * Fair-share ingress queue: the FPGA controller arbitrates waiting
+ * requests round-robin across requesting agents. This is what
+ * interleaves many threads' streams at line granularity and destroys
+ * the row locality the DDR4 back-end depends on -- the paper's
+ * "requests with fewer patterns as the thread count increased"
+ * (Sec. 4.3.1).
+ */
+class FairWaitQueue
+{
+  public:
+    void
+    push(MemRequest req, Tick when)
+    {
+        const std::size_t s = req.source;
+        if (s >= bySource_.size())
+            bySource_.resize(s + 1);
+        bySource_[s].emplace_back(std::move(req), when);
+        ++count_;
+    }
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    /** Pop the next request, rotating across non-empty sources. */
+    std::pair<MemRequest, Tick>
+    pop()
+    {
+        for (std::size_t i = 0; i < bySource_.size(); ++i) {
+            cursor_ = (cursor_ + 1) % bySource_.size();
+            if (!bySource_[cursor_].empty()) {
+                auto out = std::move(bySource_[cursor_].front());
+                bySource_[cursor_].pop_front();
+                --count_;
+                return out;
+            }
+        }
+        // Callers check empty() first.
+        std::abort();
+    }
+
+  private:
+    std::vector<std::deque<std::pair<MemRequest, Tick>>> bySource_;
+    std::size_t cursor_ = 0;
+    std::size_t count_ = 0;
+};
+
+/**
+ * The CXL Type-3 device as seen from the host home agent. Addresses
+ * are device-local (host physical to HDM decoding happens in the NUMA
+ * layer).
+ */
+class CxlMemDevice : public MemoryDevice
+{
+  public:
+    CxlMemDevice(EventQueue &eq, CxlDeviceParams params);
+
+    void access(MemRequest req) override;
+    const std::string &name() const override { return params_.name; }
+
+    const CxlDeviceParams &params() const { return params_; }
+    DeviceStats backendStats() const { return backend_->stats(); }
+    const CxlControllerStats &controllerStats() const { return ctrlStats_; }
+    std::uint64_t bytesDown() const { return down_.bytesMoved(); }
+    std::uint64_t bytesUp() const { return up_.bytesMoved(); }
+
+    /** Occupancy gauges (monitoring / tests). */
+    std::uint32_t readsInFlight() const { return readsInFlight_; }
+    std::uint32_t writesBuffered() const { return writesBuffered_; }
+    std::size_t readWaitDepth() const { return readWaitQueue_.size(); }
+    std::size_t writeWaitDepth() const { return writeWaitQueue_.size(); }
+
+    void resetStats();
+
+  private:
+    /** A read request has arrived at the controller ingress. */
+    void readArrived(MemRequest req);
+    /** A write (temporal or NT) has arrived at the controller ingress. */
+    void writeArrived(MemRequest req);
+
+    void admitRead(MemRequest req);
+    void admitWrite(MemRequest req);
+
+    /** Host-side posted gate for NT stores. */
+    void admitPosted(MemRequest req);
+    /** Transmit a request over the M2S link toward the controller. */
+    void dispatch(MemRequest req);
+
+    EventQueue &eq_;
+    CxlDeviceParams params_;
+    CxlLinkDirection down_; //!< M2S: requests and write data
+    CxlLinkDirection up_;   //!< S2M: read data and completions
+    std::unique_ptr<InterleavedMemory> backend_;
+
+    std::uint32_t readsInFlight_ = 0;
+    std::uint32_t writesBuffered_ = 0;
+    std::uint32_t ntPosted_ = 0;
+    FairWaitQueue readWaitQueue_;
+    FairWaitQueue writeWaitQueue_;
+    std::deque<MemRequest> postedGate_;
+
+    CxlControllerStats ctrlStats_;
+};
+
+} // namespace cxlmemo
+
+#endif // CXLMEMO_CXL_DEVICE_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * CXL.mem link model: two simplex directions over the PCIe Gen5
+ * physical layer, moving 68 B flits (64 B data + 2 B CRC + 2 B
+ * protocol ID, CXL 1.1).
+ *
+ * Message costs are expressed in bytes of link capacity. CXL packs
+ * multiple headers per flit, so a data-less message (read request,
+ * write completion) costs a fraction of a flit: with four header
+ * slots per 68 B flit that is 17 B. A data-carrying message costs a
+ * full data flit plus a header slot.
+ */
+
+#ifndef CXLMEMO_CXL_LINK_HH
+#define CXLMEMO_CXL_LINK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace cxlmemo
+{
+
+/** Physical and protocol parameters of a CXL link. */
+struct CxlLinkParams
+{
+    /** Raw lane bandwidth per direction, GB/s
+     *  (PCIe Gen5 x16: 32 GT/s * 16 / 8 = 64 GB/s minus encoding). */
+    double rawGBps = 63.0;
+
+    /** Payload fraction of each flit (64/68 for CXL 1.1). */
+    double flitEfficiency = 64.0 / 68.0;
+
+    /** One-way propagation + SerDes + retimer latency. */
+    Tick propagation = ticksFromNs(12.0);
+
+    /** Link-capacity cost of a header-only message (one of four
+     *  header slots in a 68 B flit). */
+    std::uint32_t headerBytes = 17;
+
+    /** Link-capacity cost of a message carrying one 64 B cacheline
+     *  (a full data flit plus a header slot). */
+    std::uint32_t dataBytes = 85;
+};
+
+/**
+ * One direction of a CXL link: a serialization rate limiter plus
+ * propagation delay. Host-to-device (M2S) and device-to-host (S2M)
+ * each instantiate one.
+ */
+class CxlLinkDirection
+{
+  public:
+    CxlLinkDirection(EventQueue &eq, const CxlLinkParams &params)
+        : eq_(eq), params_(params)
+    {}
+
+    /**
+     * Transmit @p bytes of link capacity starting no earlier than now;
+     * @return the tick the message is fully delivered at the far end.
+     */
+    Tick
+    transmit(std::uint32_t bytes)
+    {
+        const Tick now = eq_.curTick();
+        const Tick start = std::max(now, freeAt_);
+        const double eff = params_.rawGBps * params_.flitEfficiency;
+        const Tick done = start + serializationTicks(bytes, eff);
+        freeAt_ = done;
+        bytesMoved_ += bytes;
+        return done + params_.propagation;
+    }
+
+    std::uint64_t bytesMoved() const { return bytesMoved_; }
+    void resetStats() { bytesMoved_ = 0; }
+
+  private:
+    EventQueue &eq_;
+    CxlLinkParams params_;
+    Tick freeAt_ = 0;
+    std::uint64_t bytesMoved_ = 0;
+};
+
+} // namespace cxlmemo
+
+#endif // CXLMEMO_CXL_LINK_HH

@@ -1,0 +1,65 @@
+#include "interconnect/upi.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cxlmemo
+{
+
+UpiRemoteMemory::UpiRemoteMemory(EventQueue &eq, UpiParams params)
+    : eq_(eq), params_(std::move(params))
+{
+    memory_ = std::make_unique<InterleavedMemory>(
+        eq, params_.name + ".ddr5", params_.channel, params_.numChannels);
+}
+
+Tick
+UpiRemoteMemory::transmit(Tick &freeAt, std::uint32_t bytes)
+{
+    const Tick start = std::max(eq_.curTick(), freeAt);
+    const Tick done = start + serializationTicks(bytes, params_.linkGBps);
+    freeAt = done;
+    return done + params_.hopLatency;
+}
+
+void
+UpiRemoteMemory::access(MemRequest req)
+{
+    const bool write = isWrite(req.cmd);
+    const std::uint32_t down_bytes =
+        params_.headerBytes + (write ? req.size : 0);
+    bytesDown_ += down_bytes;
+    const Tick delivered = transmit(downFreeAt_, down_bytes);
+
+    eq_.schedule(delivered, [this, write, r = std::move(req)]() mutable {
+        MemRequest remote;
+        remote.addr = r.addr;
+        remote.size = r.size;
+        remote.cmd = r.cmd;
+        // Posted-acceptance (NT stores) is signalled by the remote
+        // channel's gate once the write arrives there.
+        remote.onAccept = std::move(r.onAccept);
+        remote.onComplete =
+            [this, write, size = r.size,
+             cb = std::move(r.onComplete)](Tick) mutable {
+                const std::uint32_t up_bytes =
+                    params_.headerBytes + (write ? 0 : size);
+                bytesUp_ += up_bytes;
+                const Tick arrive = transmit(upFreeAt_, up_bytes);
+                if (cb)
+                    eq_.schedule(arrive, [cb, arrive] { cb(arrive); });
+            };
+        memory_->access(std::move(remote));
+    });
+}
+
+void
+UpiRemoteMemory::resetStats()
+{
+    memory_->resetStats();
+    bytesDown_ = 0;
+    bytesUp_ = 0;
+}
+
+} // namespace cxlmemo

@@ -1,0 +1,272 @@
+#include "mem/dram.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cxlmemo
+{
+
+DramChannel::DramChannel(EventQueue &eq, DramChannelParams params)
+    : eq_(eq), params_(std::move(params)), banks_(params_.numBanks)
+{
+    CXLMEMO_ASSERT(params_.numBanks > 0, "channel with no banks");
+    CXLMEMO_ASSERT(params_.peakGBps > 0.0, "channel with no bandwidth");
+    CXLMEMO_ASSERT(params_.rowBytes >= cachelineBytes, "row too small");
+    CXLMEMO_ASSERT(params_.bankStripeBytes >= cachelineBytes,
+                   "stripe below line size");
+    CXLMEMO_ASSERT(params_.rowBytes % params_.bankStripeBytes == 0,
+                   "row must hold whole stripes");
+}
+
+std::uint64_t
+DramChannel::rowOf(Addr addr) const
+{
+    // column(stripe)-low, bank-mid, row-high mapping: position within
+    // the bank advances one stripe per numBanks stripes of address
+    // space; rowBytes of in-bank positions form one row.
+    const std::uint64_t pos_in_bank =
+        addr / (params_.bankStripeBytes * params_.numBanks);
+    return pos_in_bank / (params_.rowBytes / params_.bankStripeBytes);
+}
+
+std::uint32_t
+DramChannel::bankOf(Addr addr) const
+{
+    return static_cast<std::uint32_t>(
+        (addr / params_.bankStripeBytes) % params_.numBanks);
+}
+
+Tick
+DramChannel::busTime(std::uint32_t size, bool write) const
+{
+    double eff = params_.peakGBps * params_.busEfficiency;
+    if (write)
+        eff *= params_.writeEfficiency;
+    return serializationTicks(size, eff);
+}
+
+void
+DramChannel::access(MemRequest req)
+{
+    CXLMEMO_ASSERT(req.size > 0, "zero-size access");
+    if (req.cmd == MemCmd::NtWrite) {
+        if (ntPosted_ < params_.ntPostedEntries) {
+            admitNt(std::move(req));
+        } else {
+            ntGate_.push_back(std::move(req));
+        }
+        return;
+    }
+    enqueue(std::move(req));
+}
+
+void
+DramChannel::admitNt(MemRequest req)
+{
+    ++ntPosted_;
+    if (req.onAccept) {
+        auto accept = std::move(req.onAccept);
+        const Tick now = eq_.curTick();
+        eq_.schedule(now, [accept, now] { accept(now); });
+    }
+    // Release the posted slot once the write drains to the array.
+    auto drained = std::move(req.onComplete);
+    req.onComplete = [this, drained](Tick t) {
+        CXLMEMO_ASSERT(ntPosted_ > 0, "posted underflow");
+        --ntPosted_;
+        if (!ntGate_.empty()) {
+            MemRequest waiting = std::move(ntGate_.front());
+            ntGate_.pop_front();
+            admitNt(std::move(waiting));
+        }
+        if (drained)
+            drained(t);
+    };
+    enqueue(std::move(req));
+}
+
+void
+DramChannel::enqueue(MemRequest req)
+{
+    const std::uint32_t bank_idx = bankOf(req.addr);
+    ++outstanding_;
+    banks_[bank_idx].queue.push_back(std::move(req));
+    tryIssue(bank_idx);
+}
+
+void
+DramChannel::tryIssue(std::uint32_t bank_idx)
+{
+    Bank &bank = banks_[bank_idx];
+    if (bank.busy || bank.queue.empty())
+        return;
+
+    // FR-FCFS selection: prefer a row hit within the reorder window
+    // unless the starvation cap says the oldest request must go first.
+    // The cap gates only *reordering*; whether the chosen request is
+    // a row hit is decided by the open-row state itself.
+    std::size_t pick = 0;
+    if (bank.hitRun < params_.maxHitRun
+        && rowOf(bank.queue[0].addr) != bank.openRow) {
+        const std::size_t depth =
+            std::min<std::size_t>(params_.scanDepth, bank.queue.size());
+        for (std::size_t i = 1; i < depth; ++i) {
+            if (rowOf(bank.queue[i].addr) == bank.openRow) {
+                pick = i;
+                break;
+            }
+        }
+    }
+
+    MemRequest req = std::move(bank.queue[pick]);
+    bank.queue.erase(bank.queue.begin()
+                     + static_cast<std::ptrdiff_t>(pick));
+
+    const bool hit = rowOf(req.addr) == bank.openRow;
+    const Tick now = eq_.curTick();
+    const bool write = isWrite(req.cmd);
+
+    // A hit pipelines: the bank is occupied for one burst slot only.
+    // A conflict holds the bank for the precharge+activate window (plus
+    // write recovery for writes) before it can take the next request.
+    Tick dev_latency;
+    Tick occupancy;
+    if (hit) {
+        dev_latency = params_.tRowHit;
+        occupancy = busTime(req.size, write);
+        bank.hitRun++;
+        stats_.rowHits++;
+    } else {
+        dev_latency = params_.tRowMiss;
+        occupancy = (params_.tRowMiss - params_.tRowHit)
+                    + busTime(req.size, write);
+        if (write)
+            occupancy += params_.tWriteRecovery;
+        occupancy = std::max(occupancy, params_.tBankCycle);
+        bank.openRow = rowOf(req.addr);
+        bank.hitRun = 0;
+        stats_.rowMisses++;
+    }
+
+    bank.busy = true;
+    eq_.schedule(now + occupancy, [this, bank_idx] {
+        banks_[bank_idx].busy = false;
+        tryIssue(bank_idx);
+    });
+
+    const Tick ready = now + params_.tFrontend + dev_latency;
+    eq_.schedule(ready, [this, bank_idx, r = std::move(req)]() mutable {
+        finishBankPhase(bank_idx, std::move(r));
+    });
+}
+
+void
+DramChannel::finishBankPhase(std::uint32_t bank_idx, MemRequest req)
+{
+    (void)bank_idx;
+    if (isWrite(req.cmd))
+        busWriteQueue_.push_back(std::move(req));
+    else
+        busReadQueue_.push_back(std::move(req));
+    kickBus();
+}
+
+void
+DramChannel::kickBus()
+{
+    if (busBusy_)
+        return;
+    if (busReadQueue_.empty() && busWriteQueue_.empty())
+        return;
+
+    // Direction arbitration: stay in the current mode while it has
+    // work and the batch quota lasts; switching pays tTurnaround.
+    bool write = lastWasWrite_;
+    auto *same = write ? &busWriteQueue_ : &busReadQueue_;
+    auto *other = write ? &busReadQueue_ : &busWriteQueue_;
+    if (same->empty()
+        || (directionRun_ >= params_.maxDirectionRun && !other->empty())) {
+        write = !write;
+        std::swap(same, other);
+    }
+
+    MemRequest req = std::move(same->front());
+    same->pop_front();
+
+    const Tick now = eq_.curTick();
+    Tick start = now;
+    if (write != lastWasWrite_) {
+        start += params_.tTurnaround;
+        directionRun_ = 0;
+    }
+    lastWasWrite_ = write;
+    ++directionRun_;
+
+    const Tick done = start + busTime(req.size, write);
+    if (write) {
+        stats_.writes++;
+        stats_.bytesWritten += req.size;
+    } else {
+        stats_.reads++;
+        stats_.bytesRead += req.size;
+    }
+
+    busBusy_ = true;
+    eq_.schedule(done, [this, r = std::move(req), done]() mutable {
+        CXLMEMO_ASSERT(outstanding_ > 0, "completion underflow");
+        --outstanding_;
+        busBusy_ = false;
+        if (r.onComplete)
+            r.onComplete(done);
+        kickBus();
+    });
+}
+
+InterleavedMemory::InterleavedMemory(EventQueue &eq, const std::string &name,
+                                     const DramChannelParams &channelParams,
+                                     std::uint32_t numChannels,
+                                     std::uint64_t interleaveBytes)
+    : name_(name), interleaveBytes_(interleaveBytes)
+{
+    CXLMEMO_ASSERT(numChannels > 0, "memory node with no channels");
+    CXLMEMO_ASSERT(interleaveBytes >= cachelineBytes,
+                   "interleave below line size splits transactions");
+    channels_.reserve(numChannels);
+    for (std::uint32_t i = 0; i < numChannels; ++i) {
+        DramChannelParams p = channelParams;
+        p.name = name + ".ch" + std::to_string(i);
+        channels_.push_back(std::make_unique<DramChannel>(eq, std::move(p)));
+    }
+}
+
+void
+InterleavedMemory::access(MemRequest req)
+{
+    const std::uint64_t chunk = req.addr / interleaveBytes_;
+    const auto ch = static_cast<std::uint32_t>(chunk % channels_.size());
+    // Compact the address into the channel's local space so that a
+    // globally sequential stream stays row-sequential per channel.
+    const Addr local = (chunk / channels_.size()) * interleaveBytes_
+                       + (req.addr % interleaveBytes_);
+    req.addr = local;
+    channels_[ch]->access(std::move(req));
+}
+
+DeviceStats
+InterleavedMemory::stats() const
+{
+    DeviceStats total;
+    for (const auto &ch : channels_)
+        total.merge(ch->stats());
+    return total;
+}
+
+void
+InterleavedMemory::resetStats()
+{
+    for (auto &ch : channels_)
+        ch->resetStats();
+}
+
+} // namespace cxlmemo

@@ -1,0 +1,22 @@
+#include "mem/request.hh"
+
+namespace cxlmemo
+{
+
+const char *
+memCmdName(MemCmd cmd)
+{
+    switch (cmd) {
+      case MemCmd::Read:
+        return "Read";
+      case MemCmd::Prefetch:
+        return "Prefetch";
+      case MemCmd::Write:
+        return "Write";
+      case MemCmd::NtWrite:
+        return "NtWrite";
+    }
+    return "Unknown";
+}
+
+} // namespace cxlmemo

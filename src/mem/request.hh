@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Memory request types and the abstract MemoryDevice interface that
+ * every back-end (local DDR5, remote-socket DDR5 behind UPI, CXL
+ * Type-3 device) implements.
+ */
+
+#ifndef CXLMEMO_MEM_REQUEST_HH
+#define CXLMEMO_MEM_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace cxlmemo
+{
+
+/** Kinds of transactions a device can receive. */
+enum class MemCmd : std::uint8_t
+{
+    Read,      //!< demand read (cacheline fill, RFO read, ...)
+    Prefetch,  //!< prefetcher-generated read; same timing, separate stats
+    Write,     //!< eviction writeback or temporal-store drain
+    NtWrite,   //!< non-temporal (streaming) store, cache-bypassing
+};
+
+/** @return true for commands that move data toward the device. */
+constexpr bool
+isWrite(MemCmd cmd)
+{
+    return cmd == MemCmd::Write || cmd == MemCmd::NtWrite;
+}
+
+/** @return human-readable command name. */
+const char *memCmdName(MemCmd cmd);
+
+/**
+ * A single transaction presented to a memory device.
+ *
+ * @c addr is a device-local byte offset: the NUMA layer resolves which
+ * device a physical page lives on and rebases addresses before they
+ * reach the device, so devices never see each other's address ranges.
+ *
+ * @c onComplete fires when the device has finished the access: for
+ * reads, when data is back at the requester; for writes, when the
+ * device has accepted *and drained* the data (the conservative point
+ * that fence instructions must wait for).
+ */
+struct MemRequest
+{
+    Addr addr = 0;
+    std::uint32_t size = cachelineBytes;
+    MemCmd cmd = MemCmd::Read;
+
+    /** Requesting agent (core id, or a DSA engine's id); fair-share
+     *  arbiters in devices use it to round-robin across sources. */
+    std::uint16_t source = 0;
+
+    std::function<void(Tick doneTick)> onComplete;
+
+    /**
+     * For NtWrite only: fires when the write is *posted* -- accepted
+     * into a bounded host-side/device-front queue. This is the point
+     * a WC buffer is released (so streaming stores pipeline far beyond
+     * their latency), whereas onComplete is the global-observability
+     * point an sfence must wait for.
+     */
+    std::function<void(Tick acceptTick)> onAccept;
+};
+
+/**
+ * Abstract timing model of a memory back-end.
+ *
+ * access() must be invoked at the current simulated time (callers that
+ * run ahead of the event queue schedule an event to deliver the
+ * request). Completion is signalled via the request's callback.
+ */
+class MemoryDevice
+{
+  public:
+    virtual ~MemoryDevice() = default;
+
+    /** Start the transaction now; completion via req.onComplete. */
+    virtual void access(MemRequest req) = 0;
+
+    /** Device instance name for reports and debugging. */
+    virtual const std::string &name() const = 0;
+};
+
+/** Aggregate traffic counters kept by each concrete device. */
+struct DeviceStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+
+    void
+    merge(const DeviceStats &o)
+    {
+        reads += o.reads;
+        writes += o.writes;
+        bytesRead += o.bytesRead;
+        bytesWritten += o.bytesWritten;
+        rowHits += o.rowHits;
+        rowMisses += o.rowMisses;
+    }
+};
+
+} // namespace cxlmemo
+
+#endif // CXLMEMO_MEM_REQUEST_HH

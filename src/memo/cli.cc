@@ -1,0 +1,474 @@
+#include "memo/cli.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace cxlmemo
+{
+namespace memo
+{
+
+namespace
+{
+
+std::optional<Target>
+parseTarget(const std::string &s)
+{
+    if (s == "ddr5-l8" || s == "local" || s == "dram")
+        return Target::Ddr5Local;
+    if (s == "ddr5-r1" || s == "remote")
+        return Target::Ddr5Remote;
+    if (s == "cxl")
+        return Target::Cxl;
+    return std::nullopt;
+}
+
+std::optional<MemOp::Kind>
+parseOp(const std::string &s)
+{
+    if (s == "load" || s == "ld")
+        return MemOp::Kind::Load;
+    if (s == "store" || s == "st")
+        return MemOp::Kind::Store;
+    if (s == "nt-store" || s == "nt")
+        return MemOp::Kind::NtStore;
+    return std::nullopt;
+}
+
+std::optional<CliMode>
+parseMode(const std::string &s)
+{
+    if (s == "latency")
+        return CliMode::Latency;
+    if (s == "seq")
+        return CliMode::Seq;
+    if (s == "rand")
+        return CliMode::Rand;
+    if (s == "chase")
+        return CliMode::Chase;
+    if (s == "copy")
+        return CliMode::Copy;
+    if (s == "loaded")
+        return CliMode::Loaded;
+    if (s == "help")
+        return CliMode::Help;
+    return std::nullopt;
+}
+
+std::optional<CopyPath>
+parsePath(const std::string &s)
+{
+    if (s == "d2d")
+        return CopyPath::D2D;
+    if (s == "d2c")
+        return CopyPath::D2C;
+    if (s == "c2d")
+        return CopyPath::C2D;
+    if (s == "c2c")
+        return CopyPath::C2C;
+    return std::nullopt;
+}
+
+std::optional<CopyMethod>
+parseMethod(const std::string &s)
+{
+    if (s == "memcpy")
+        return CopyMethod::Memcpy;
+    if (s == "movdir64b" || s == "movdir")
+        return CopyMethod::Movdir64;
+    if (s == "dsa-sync")
+        return CopyMethod::DsaSync;
+    if (s == "dsa" || s == "dsa-async")
+        return CopyMethod::DsaAsync;
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<std::uint64_t>
+parseSize(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    std::uint64_t mult = 1;
+    std::string digits = text;
+    const char suffix =
+        static_cast<char>(std::toupper(static_cast<unsigned char>(
+            text.back())));
+    if (suffix == 'K' || suffix == 'M' || suffix == 'G') {
+        mult = suffix == 'K' ? kiB : suffix == 'M' ? miB : giB;
+        digits = text.substr(0, text.size() - 1);
+    }
+    if (digits.empty())
+        return std::nullopt;
+    std::uint64_t value = 0;
+    for (char c : digits) {
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return value * mult;
+}
+
+std::optional<std::vector<std::uint64_t>>
+parseListSpec(const std::string &text)
+{
+    std::vector<std::uint64_t> out;
+    const auto dash = text.find('-');
+    if (dash != std::string::npos) {
+        const auto lo = parseSize(text.substr(0, dash));
+        const auto hi = parseSize(text.substr(dash + 1));
+        if (!lo || !hi || *lo == 0 || *lo > *hi)
+            return std::nullopt;
+        // Powers-of-two steps from lo, plus the exact endpoint.
+        for (std::uint64_t v = *lo; v < *hi; v *= 2)
+            out.push_back(v);
+        out.push_back(*hi);
+        return out;
+    }
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        const auto v = parseSize(item);
+        if (!v)
+            return std::nullopt;
+        out.push_back(*v);
+    }
+    if (out.empty())
+        return std::nullopt;
+    return out;
+}
+
+std::string
+cliUsage()
+{
+    return
+        "MEMO: microbenchmark for CXL/NUMA memory characterization\n"
+        "usage: memo --mode <mode> [options]\n"
+        "\n"
+        "modes:\n"
+        "  latency   instruction latency probes (Fig. 2)\n"
+        "  seq       sequential bandwidth sweep (Fig. 3)\n"
+        "  rand      random-block bandwidth sweep (Fig. 5)\n"
+        "  chase     pointer-chase WSS sweep (Fig. 2 right)\n"
+        "  copy      data movement: memcpy/movdir64B/DSA (Fig. 4)\n"
+        "  loaded    loaded-latency probe\n"
+        "\n"
+        "options:\n"
+        "  --target  ddr5-l8 | ddr5-r1 | cxl         (default ddr5-l8)\n"
+        "  --op      load | store | nt-store         (default load)\n"
+        "  --threads N | a,b,c | lo-hi               (default 1)\n"
+        "  --block   SIZE | list/range (rand mode)   (default 4K)\n"
+        "  --wss     SIZE | list/range (chase mode)\n"
+        "  --path    d2d | d2c | c2d | c2c (copy)    (default d2c)\n"
+        "  --method  memcpy | movdir64b | dsa-sync | dsa (copy)\n"
+        "  --batch   N   DSA batch size              (default 1)\n"
+        "  --prefetch    enable hardware prefetchers\n"
+        "  --csv         machine-readable output\n"
+        "  --seed    N   workload RNG seed           (default 42)\n";
+}
+
+std::optional<CliConfig>
+parseCli(const std::vector<std::string> &args, std::string &error)
+{
+    CliConfig cfg;
+    auto need = [&](std::size_t i) -> std::optional<std::string> {
+        if (i + 1 >= args.size()) {
+            error = "missing value after " + args[i];
+            return std::nullopt;
+        }
+        return args[i + 1];
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "--help" || a == "-h") {
+            cfg.mode = CliMode::Help;
+            return cfg;
+        } else if (a == "--mode") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            auto m = parseMode(*v);
+            if (!m) {
+                error = "unknown mode: " + *v;
+                return std::nullopt;
+            }
+            cfg.mode = *m;
+            ++i;
+        } else if (a == "--target") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            auto t = parseTarget(*v);
+            if (!t) {
+                error = "unknown target: " + *v;
+                return std::nullopt;
+            }
+            cfg.target = *t;
+            ++i;
+        } else if (a == "--op") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            auto o = parseOp(*v);
+            if (!o) {
+                error = "unknown op: " + *v;
+                return std::nullopt;
+            }
+            cfg.op = *o;
+            ++i;
+        } else if (a == "--threads") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            auto list = parseListSpec(*v);
+            if (!list) {
+                error = "bad thread spec: " + *v;
+                return std::nullopt;
+            }
+            cfg.threads.clear();
+            for (std::uint64_t t : *list) {
+                if (t == 0 || t > 64) {
+                    error = "thread count out of range";
+                    return std::nullopt;
+                }
+                cfg.threads.push_back(static_cast<std::uint32_t>(t));
+            }
+            ++i;
+        } else if (a == "--block") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            auto list = parseListSpec(*v);
+            if (!list) {
+                error = "bad block spec: " + *v;
+                return std::nullopt;
+            }
+            cfg.blockBytes = *list;
+            ++i;
+        } else if (a == "--wss") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            auto list = parseListSpec(*v);
+            if (!list) {
+                error = "bad wss spec: " + *v;
+                return std::nullopt;
+            }
+            cfg.wssBytes = *list;
+            ++i;
+        } else if (a == "--path") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            auto p = parsePath(*v);
+            if (!p) {
+                error = "unknown path: " + *v;
+                return std::nullopt;
+            }
+            cfg.path = *p;
+            ++i;
+        } else if (a == "--method") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            auto m = parseMethod(*v);
+            if (!m) {
+                error = "unknown method: " + *v;
+                return std::nullopt;
+            }
+            cfg.method = *m;
+            ++i;
+        } else if (a == "--batch") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            auto b = parseSize(*v);
+            if (!b || *b == 0) {
+                error = "bad batch: " + *v;
+                return std::nullopt;
+            }
+            cfg.batch = static_cast<std::uint32_t>(*b);
+            ++i;
+        } else if (a == "--seed") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            auto s = parseSize(*v);
+            if (!s) {
+                error = "bad seed: " + *v;
+                return std::nullopt;
+            }
+            cfg.seed = *s;
+            ++i;
+        } else if (a == "--prefetch") {
+            cfg.prefetch = true;
+        } else if (a == "--csv") {
+            cfg.csv = true;
+        } else {
+            error = "unknown argument: " + a;
+            return std::nullopt;
+        }
+    }
+    if (cfg.mode == CliMode::Chase && cfg.wssBytes.empty()) {
+        error = "chase mode requires --wss";
+        return std::nullopt;
+    }
+    return cfg;
+}
+
+namespace
+{
+
+const char *
+opName(MemOp::Kind k)
+{
+    switch (k) {
+      case MemOp::Kind::Load:
+        return "load";
+      case MemOp::Kind::Store:
+        return "store";
+      case MemOp::Kind::NtStore:
+        return "nt-store";
+      default:
+        return "?";
+    }
+}
+
+int
+runCli(const CliConfig &cfg)
+{
+    Options opts;
+    opts.prefetch = cfg.prefetch;
+    opts.seed = cfg.seed;
+
+    switch (cfg.mode) {
+      case CliMode::Help:
+        std::fputs(cliUsage().c_str(), stdout);
+        return 0;
+
+      case CliMode::Latency: {
+        const LatencyResult r = runLatency(cfg.target, opts);
+        if (cfg.csv) {
+            std::printf("target,ld,st+wb,nt-st,ptr-chase\n");
+            std::printf("%s,%.1f,%.1f,%.1f,%.1f\n",
+                        targetName(cfg.target), r.loadNs, r.storeWbNs,
+                        r.ntStoreNs, r.ptrChaseNs);
+        } else {
+            std::printf("%s latency (ns): ld %.1f  st+wb %.1f  "
+                        "nt-st %.1f  ptr-chase %.1f\n",
+                        targetName(cfg.target), r.loadNs, r.storeWbNs,
+                        r.ntStoreNs, r.ptrChaseNs);
+        }
+        return 0;
+      }
+
+      case CliMode::Seq: {
+        if (cfg.csv)
+            std::printf("target,op,threads,gbps\n");
+        for (std::uint32_t t : cfg.threads) {
+            const double bw = runSeqBandwidth(cfg.target, cfg.op, t,
+                                              opts);
+            if (cfg.csv)
+                std::printf("%s,%s,%u,%.2f\n", targetName(cfg.target),
+                            opName(cfg.op), t, bw);
+            else
+                std::printf("%s %s seq, %2u threads: %7.2f GB/s\n",
+                            targetName(cfg.target), opName(cfg.op), t,
+                            bw);
+        }
+        return 0;
+      }
+
+      case CliMode::Rand: {
+        if (cfg.csv)
+            std::printf("target,op,block,threads,gbps\n");
+        for (std::uint64_t b : cfg.blockBytes) {
+            for (std::uint32_t t : cfg.threads) {
+                const double bw = runRandBandwidth(cfg.target, cfg.op,
+                                                   t, b, opts);
+                if (cfg.csv)
+                    std::printf("%s,%s,%llu,%u,%.2f\n",
+                                targetName(cfg.target), opName(cfg.op),
+                                (unsigned long long)b, t, bw);
+                else
+                    std::printf("%s %s rand %6lluB blocks, %2u "
+                                "threads: %7.2f GB/s\n",
+                                targetName(cfg.target), opName(cfg.op),
+                                (unsigned long long)b, t, bw);
+            }
+        }
+        return 0;
+      }
+
+      case CliMode::Chase: {
+        const auto lat = runPtrChaseWssSweep(cfg.target, cfg.wssBytes,
+                                             opts);
+        if (cfg.csv)
+            std::printf("target,wss,ns\n");
+        for (std::size_t i = 0; i < cfg.wssBytes.size(); ++i) {
+            if (cfg.csv)
+                std::printf("%s,%llu,%.1f\n", targetName(cfg.target),
+                            (unsigned long long)cfg.wssBytes[i],
+                            lat[i]);
+            else
+                std::printf("%s chase wss %10llu B: %7.1f ns\n",
+                            targetName(cfg.target),
+                            (unsigned long long)cfg.wssBytes[i],
+                            lat[i]);
+        }
+        return 0;
+      }
+
+      case CliMode::Copy: {
+        const double bw = runCopyBandwidth(cfg.path, cfg.method,
+                                           cfg.batch, 4 * kiB, opts);
+        if (cfg.csv)
+            std::printf("path,method,batch,gbps\n%s,%s,%u,%.2f\n",
+                        copyPathName(cfg.path),
+                        copyMethodName(cfg.method), cfg.batch, bw);
+        else
+            std::printf("%s via %s (batch %u): %.2f GB/s\n",
+                        copyPathName(cfg.path),
+                        copyMethodName(cfg.method), cfg.batch, bw);
+        return 0;
+      }
+
+      case CliMode::Loaded: {
+        if (cfg.csv)
+            std::printf("target,threads,ns\n");
+        for (std::uint32_t t : cfg.threads) {
+            const double ns = runLoadedLatency(cfg.target, t, opts);
+            if (cfg.csv)
+                std::printf("%s,%u,%.1f\n", targetName(cfg.target), t,
+                            ns);
+            else
+                std::printf("%s loaded latency, %2u threads: %7.1f "
+                            "ns\n",
+                            targetName(cfg.target), t, ns);
+        }
+        return 0;
+      }
+    }
+    return 1;
+}
+
+} // namespace
+
+int
+memoCliMain(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    std::string error;
+    const auto cfg = parseCli(args, error);
+    if (!cfg) {
+        std::fprintf(stderr, "memo: %s\n\n%s", error.c_str(),
+                     cliUsage().c_str());
+        return 2;
+    }
+    return runCli(*cfg);
+}
+
+} // namespace memo
+} // namespace cxlmemo

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Command-line front end for MEMO, matching the paper's description:
+ * "Users can provide command-line arguments to specify the workloads
+ * to be executed by MEMO."
+ *
+ * Examples:
+ *   memo --mode latency  --target cxl
+ *   memo --mode seq      --target ddr5-l8 --op load --threads 1-32
+ *   memo --mode rand     --target cxl --op nt-store --block 16K \
+ *        --threads 1,2,4,8
+ *   memo --mode chase    --target ddr5-r1 --wss 16K-512M
+ *   memo --mode copy     --path d2c --method dsa --batch 16
+ *   memo --mode loaded   --target cxl --threads 12
+ *
+ * The parser is a standalone, testable component; `memoCliMain` is
+ * the actual entry point used by the `memo` binary.
+ */
+
+#ifndef CXLMEMO_MEMO_CLI_HH
+#define CXLMEMO_MEMO_CLI_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "memo/memo.hh"
+
+namespace cxlmemo
+{
+namespace memo
+{
+
+/** What the invocation asks MEMO to do. */
+enum class CliMode
+{
+    Latency, //!< Fig. 2 instruction probes
+    Seq,     //!< sequential bandwidth sweep
+    Rand,    //!< random-block bandwidth sweep
+    Chase,   //!< pointer-chase WSS sweep
+    Copy,    //!< data-movement (memcpy/movdir64B/DSA)
+    Loaded,  //!< loaded latency
+    Help,
+};
+
+/** Parsed command line. */
+struct CliConfig
+{
+    CliMode mode = CliMode::Help;
+    Target target = Target::Ddr5Local;
+    MemOp::Kind op = MemOp::Kind::Load;
+    std::vector<std::uint32_t> threads = {1};
+    std::vector<std::uint64_t> blockBytes = {4 * kiB};
+    std::vector<std::uint64_t> wssBytes;
+    CopyPath path = CopyPath::D2C;
+    CopyMethod method = CopyMethod::Memcpy;
+    std::uint32_t batch = 1;
+    bool prefetch = false;
+    bool csv = false;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Parse argv into a CliConfig.
+ * @return std::nullopt plus an error string on bad input.
+ */
+std::optional<CliConfig> parseCli(const std::vector<std::string> &args,
+                                  std::string &error);
+
+/** Parse a size like "16K", "4M", "1G", "512" (bytes). */
+std::optional<std::uint64_t> parseSize(const std::string &text);
+
+/**
+ * Parse a list/range spec: "8", "1,2,4", "1-32" (powers-of-two steps
+ * plus endpoints for ranges).
+ */
+std::optional<std::vector<std::uint64_t>>
+parseListSpec(const std::string &text);
+
+/** Usage text. */
+std::string cliUsage();
+
+/** Entry point for the `memo` binary. */
+int memoCliMain(int argc, char **argv);
+
+} // namespace memo
+} // namespace cxlmemo
+
+#endif // CXLMEMO_MEMO_CLI_HH

@@ -1,0 +1,67 @@
+#include "memo/memo.hh"
+
+#include "sim/logging.hh"
+
+namespace cxlmemo
+{
+namespace memo
+{
+
+const char *
+targetName(Target t)
+{
+    switch (t) {
+      case Target::Ddr5Local:
+        return "DDR5-L8";
+      case Target::Ddr5Remote:
+        return "DDR5-R1";
+      case Target::Cxl:
+        return "CXL";
+    }
+    return "?";
+}
+
+std::unique_ptr<Machine>
+makeMachine(Target target, bool prefetch)
+{
+    MachineOptions opts;
+    opts.prefetchEnabled = prefetch;
+    const Testbed tb = target == Target::Ddr5Remote
+                           ? Testbed::DualSocket
+                           : Testbed::SingleSocketCxl;
+    return std::make_unique<Machine>(tb, opts);
+}
+
+NodeId
+targetNode(Machine &m, Target target)
+{
+    switch (target) {
+      case Target::Ddr5Local:
+        return m.localNode();
+      case Target::Ddr5Remote:
+        return m.remoteNode();
+      case Target::Cxl:
+        return m.cxlNode();
+    }
+    CXLMEMO_PANIC("bad target");
+}
+
+std::pair<Tick, Tick>
+runStream(Machine &m, std::uint16_t core,
+          std::unique_ptr<AccessStream> stream)
+{
+    HwThread thread(m.caches(), core, m.coreParams());
+    Tick start = 0;
+    Tick end = 0;
+    thread.start(std::move(stream), m.eq().curTick(),
+                 [&start, &end](Tick s, Tick e) {
+        start = s;
+        end = e;
+    });
+    m.eq().run();
+    CXLMEMO_ASSERT(thread.finished(), "stream did not finish");
+    return {start, end};
+}
+
+} // namespace memo
+} // namespace cxlmemo

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * MEMO: the paper's microbenchmark suite (Sec. 4.1), reimplemented
+ * over the simulated testbeds.
+ *
+ * Capabilities mirroring the paper's description:
+ *  (1) allocate memory from different sources (local DDR5, the CXL
+ *      CPU-less NUMA node, remote-socket DDR5),
+ *  (2) launch N testing threads pinned to cores, with prefetching
+ *      optionally enabled,
+ *  (3) access memory with specific instruction types (AVX-512 load,
+ *      store + clwb, non-temporal store, movdir64B) and patterns
+ *      (sequential, random block, pointer chase with a configurable
+ *      working-set size).
+ *
+ * Every entry point builds a fresh deterministic Machine, so results
+ * are reproducible and experiments cannot contaminate each other.
+ */
+
+#ifndef CXLMEMO_MEMO_MEMO_HH
+#define CXLMEMO_MEMO_MEMO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "system/machine.hh"
+
+namespace cxlmemo
+{
+namespace memo
+{
+
+/** Memory source under test (paper's DDR5-L8 / DDR5-R1 / CXL). */
+enum class Target
+{
+    Ddr5Local,  //!< 8-channel local DDR5-4800 ("DDR5-L8")
+    Ddr5Remote, //!< 1-channel remote-socket DDR5-4800 ("DDR5-R1")
+    Cxl,        //!< Agilex-I CXL memory ("CXL")
+};
+
+const char *targetName(Target t);
+
+/** Knobs common to all MEMO experiments. */
+struct Options
+{
+    bool prefetch = false;     //!< hardware prefetchers on/off
+    std::uint64_t seed = 42;   //!< workload RNG seed
+    double warmupUs = 30.0;    //!< pipeline warm-up before measuring
+    double measureUs = 150.0;  //!< measurement window
+};
+
+/** Results of the instruction-latency probes (Fig. 2, bars). */
+struct LatencyResult
+{
+    double loadNs = 0.0;    //!< flush + mfence + AVX-512 load
+    double storeWbNs = 0.0; //!< temporal store + clwb (RFO path)
+    double ntStoreNs = 0.0; //!< non-temporal store + sfence
+    double ptrChaseNs = 0.0;//!< sequential pointer chase in 1 GB
+};
+
+/**
+ * Run the Fig. 2 latency probes against @p target.
+ * Prefetching is disabled regardless of @p opts (as in the paper).
+ */
+LatencyResult runLatency(Target target, const Options &opts = {});
+
+/**
+ * Average pointer-chase latency for each working-set size, after a
+ * warm-up sweep brings the set into the cache hierarchy (Fig. 2,
+ * WSS sweep: the curve crossing L1/L2/LLC/DRAM).
+ */
+std::vector<double> runPtrChaseWssSweep(Target target,
+                                        const std::vector<std::uint64_t>
+                                            &wssBytes,
+                                        const Options &opts = {});
+
+/**
+ * Aggregate sequential-access bandwidth (GB/s) with @p threads
+ * threads issuing @p kind ops (Fig. 3).
+ */
+double runSeqBandwidth(Target target, MemOp::Kind kind,
+                       std::uint32_t threads, const Options &opts = {});
+
+/**
+ * Aggregate random-block bandwidth (GB/s): each thread touches
+ * random @p blockBytes blocks in its private region; NT-store blocks
+ * are fenced (Fig. 5).
+ */
+double runRandBandwidth(Target target, MemOp::Kind kind,
+                        std::uint32_t threads, std::uint64_t blockBytes,
+                        const Options &opts = {});
+
+/** Loaded-latency companion (not a paper figure; used by tests). */
+double runLoadedLatency(Target target, std::uint32_t threads,
+                        const Options &opts = {});
+
+/* ------------------------- data movement ------------------------- *
+ * Fig. 4: moving data between local DDR5 ("D") and CXL memory ("C").
+ * ------------------------------------------------------------------ */
+
+/** Source-to-destination placement of a copy. */
+enum class CopyPath
+{
+    D2D, //!< local DDR5 -> local DDR5
+    D2C, //!< local DDR5 -> CXL
+    C2D, //!< CXL -> local DDR5
+    C2C, //!< CXL -> CXL
+};
+
+const char *copyPathName(CopyPath p);
+
+/** How the copy is performed (Fig. 4b, single thread). */
+enum class CopyMethod
+{
+    Memcpy,   //!< temporal load+store through the caches
+    Movdir64, //!< cache-bypassing 64 B copies on the core
+    DsaSync,  //!< DSA, wait for each submission
+    DsaAsync, //!< DSA, keep the WQ full
+};
+
+const char *copyMethodName(CopyMethod m);
+
+/**
+ * movdir64B copy bandwidth with @p threads threads (Fig. 4a).
+ */
+double runMovdirBandwidth(CopyPath path, std::uint32_t threads,
+                          const Options &opts = {});
+
+/**
+ * Single-thread copy bandwidth for @p method (Fig. 4b).
+ * @param batch descriptors per DSA batch submission (1 = no batching);
+ *              ignored for Memcpy / Movdir64.
+ * @param blockBytes bytes per copy operation / DSA descriptor.
+ */
+double runCopyBandwidth(CopyPath path, CopyMethod method,
+                        std::uint32_t batch = 1,
+                        std::uint64_t blockBytes = 4 * kiB,
+                        const Options &opts = {});
+
+/* --------------------------------------------------------------- *
+ * Shared helpers (used by the data-movement benchmarks and tests). *
+ * --------------------------------------------------------------- */
+
+/** Build the machine that hosts @p target. */
+std::unique_ptr<Machine> makeMachine(Target target, bool prefetch);
+
+/** The NUMA node id of @p target on @p machine. */
+NodeId targetNode(Machine &m, Target target);
+
+/**
+ * Run @p stream to completion on @p core of @p machine.
+ * @return (startTick, endTick).
+ */
+std::pair<Tick, Tick> runStream(Machine &m, std::uint16_t core,
+                                std::unique_ptr<AccessStream> stream);
+
+} // namespace memo
+} // namespace cxlmemo
+
+#endif // CXLMEMO_MEMO_MEMO_HH

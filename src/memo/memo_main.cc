@@ -1,0 +1,12 @@
+/**
+ * @file
+ * The `memo` binary: MEMO's command-line front end.
+ */
+
+#include "memo/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    return cxlmemo::memo::memoCliMain(argc, argv);
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue orders callbacks by (tick, insertion sequence).
+ * Components capture what they need in the callback; there is no
+ * separate Event class hierarchy because the framework schedules
+ * hundreds of thousands of short-lived one-shot events (memory request
+ * completions) where a std::function heap entry is the simplest
+ * correct representation.
+ */
+
+#ifndef CXLMEMO_SIM_EVENT_QUEUE_HH
+#define CXLMEMO_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cxlmemo
+{
+
+/**
+ * The event queue at the heart of every simulation.
+ *
+ * Usage:
+ * @code
+ *   EventQueue eq;
+ *   eq.schedule(ticksFromNs(10), [&]{ ... });
+ *   eq.run();
+ * @endcode
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+    /** Number of events currently pending. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @pre when >= curTick(): the past cannot be changed.
+     */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        CXLMEMO_ASSERT(when >= curTick_,
+                       "scheduling into the past (%llu < %llu)",
+                       (unsigned long long)when,
+                       (unsigned long long)curTick_);
+        heap_.push(PendingEvent{when, nextSeq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay, Callback cb)
+    {
+        schedule(curTick_ + delay, std::move(cb));
+    }
+
+    /**
+     * Run events until the queue drains or @p limit is reached.
+     * Events scheduled exactly at @p limit still execute.
+     * @return true if the queue drained, false if the limit stopped us.
+     */
+    bool
+    runUntil(Tick limit)
+    {
+        while (!heap_.empty()) {
+            const PendingEvent &top = heap_.top();
+            if (top.when > limit) {
+                curTick_ = limit;
+                return false;
+            }
+            // Move the callback out before popping so that the callback
+            // may itself schedule new events.
+            Callback cb = std::move(const_cast<PendingEvent &>(top).cb);
+            curTick_ = top.when;
+            heap_.pop();
+            ++executed_;
+            cb();
+        }
+        return true;
+    }
+
+    /** Run until the queue is empty. */
+    void run() { runUntil(maxTick); }
+
+    /** Drop all pending events and reset time to zero. */
+    void
+    reset()
+    {
+        heap_ = {};
+        curTick_ = 0;
+        nextSeq_ = 0;
+        executed_ = 0;
+    }
+
+  private:
+    struct PendingEvent
+    {
+        Tick when;
+        std::uint64_t seq; //!< FIFO order among same-tick events
+        Callback cb;
+
+        bool
+        operator>(const PendingEvent &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<PendingEvent, std::vector<PendingEvent>,
+                        std::greater<>> heap_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace cxlmemo
+
+#endif // CXLMEMO_SIM_EVENT_QUEUE_HH

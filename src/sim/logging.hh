@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Status / error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal invariant was violated (simulator bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something is off but the simulation can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef CXLMEMO_SIM_LOGGING_HH
+#define CXLMEMO_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace cxlmemo
+{
+
+namespace logging_detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void assertFailImpl(const char *file, int line,
+                                 const char *cond, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace logging_detail
+
+#define CXLMEMO_PANIC(...)                                                   \
+    ::cxlmemo::logging_detail::panicImpl(                                    \
+        __FILE__, __LINE__, ::cxlmemo::logging_detail::format(__VA_ARGS__))
+
+#define CXLMEMO_FATAL(...)                                                   \
+    ::cxlmemo::logging_detail::fatalImpl(                                    \
+        __FILE__, __LINE__, ::cxlmemo::logging_detail::format(__VA_ARGS__))
+
+#define CXLMEMO_WARN(...)                                                    \
+    ::cxlmemo::logging_detail::warnImpl(                                     \
+        ::cxlmemo::logging_detail::format(__VA_ARGS__))
+
+#define CXLMEMO_INFORM(...)                                                  \
+    ::cxlmemo::logging_detail::informImpl(                                   \
+        ::cxlmemo::logging_detail::format(__VA_ARGS__))
+
+/**
+ * Assert an internal invariant; compiled in all build types. The
+ * stringified condition is passed as *data*, never as a format string
+ * (conditions routinely contain '%').
+ */
+#define CXLMEMO_ASSERT(cond, ...)                                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::cxlmemo::logging_detail::assertFailImpl(                       \
+                __FILE__, __LINE__, #cond,                                   \
+                ::cxlmemo::logging_detail::format("" __VA_ARGS__));          \
+        }                                                                    \
+    } while (0)
+
+} // namespace cxlmemo
+
+#endif // CXLMEMO_SIM_LOGGING_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Lightweight statistics containers used by every component: running
+ * scalar summaries, exact-percentile sample recorders for latency
+ * distributions, and a bandwidth meter.
+ */
+
+#ifndef CXLMEMO_SIM_STATS_HH
+#define CXLMEMO_SIM_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cxlmemo
+{
+
+/** Running mean/min/max/count without storing samples. */
+class RunningStats
+{
+  public:
+    void
+    record(double v)
+    {
+        sum_ += v;
+        ++count_;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Stores every sample for exact percentile queries. Experiments record
+ * at most a few hundred thousand samples, so exact storage is cheaper
+ * than maintaining a sketch and avoids approximation arguments when
+ * comparing tail latencies against the paper.
+ */
+class SampleSeries
+{
+  public:
+    void record(double v) { samples_.push_back(v); }
+
+    std::uint64_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double
+    mean() const
+    {
+        if (samples_.empty())
+            return 0.0;
+        double s = 0.0;
+        for (double v : samples_)
+            s += v;
+        return s / static_cast<double>(samples_.size());
+    }
+
+    /**
+     * Exact percentile with nearest-rank semantics.
+     * @param p percentile in [0, 100]
+     */
+    double
+    percentile(double p) const
+    {
+        CXLMEMO_ASSERT(!samples_.empty(), "percentile of empty series");
+        CXLMEMO_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+        std::vector<double> sorted = samples_;
+        std::sort(sorted.begin(), sorted.end());
+        if (p <= 0.0)
+            return sorted.front();
+        auto rank = static_cast<std::size_t>(
+            std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+        if (rank == 0)
+            rank = 1;
+        return sorted[std::min(rank - 1, sorted.size() - 1)];
+    }
+
+    double p50() const { return percentile(50.0); }
+    double p99() const { return percentile(99.0); }
+
+    double
+    max() const
+    {
+        CXLMEMO_ASSERT(!samples_.empty(), "max of empty series");
+        return *std::max_element(samples_.begin(), samples_.end());
+    }
+
+    void reset() { samples_.clear(); }
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+};
+
+/**
+ * Accumulates bytes moved and reports bandwidth over the measurement
+ * window. Components call addBytes(); the experiment harness brackets
+ * the window with start()/stop().
+ */
+class BandwidthMeter
+{
+  public:
+    void
+    start(Tick now)
+    {
+        windowStart_ = now;
+        bytes_ = 0;
+        running_ = true;
+    }
+
+    void
+    stop(Tick now)
+    {
+        CXLMEMO_ASSERT(running_, "stopping a meter that never started");
+        windowEnd_ = now;
+        running_ = false;
+    }
+
+    void
+    addBytes(std::uint64_t n)
+    {
+        if (running_)
+            bytes_ += n;
+    }
+
+    std::uint64_t bytes() const { return bytes_; }
+
+    /** Measured bandwidth in GB/s over the closed window. */
+    double
+    gbps() const
+    {
+        CXLMEMO_ASSERT(!running_, "reading a meter that is still running");
+        return gbPerSec(bytes_, windowEnd_ - windowStart_);
+    }
+
+  private:
+    Tick windowStart_ = 0;
+    Tick windowEnd_ = 0;
+    std::uint64_t bytes_ = 0;
+    bool running_ = false;
+};
+
+} // namespace cxlmemo
+
+#endif // CXLMEMO_SIM_STATS_HH

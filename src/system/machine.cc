@@ -1,0 +1,349 @@
+#include "system/machine.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace cxlmemo
+{
+
+namespace testbed_params
+{
+
+/*
+ * Calibration provenance
+ * ----------------------
+ * The absolute constants below come from public datasheets (DDR5-4800
+ * / DDR4-2666 timings, PCIe Gen5 x16 and UPI rates) and are then
+ * jointly calibrated so the end-to-end *idle latencies* and *peak
+ * bandwidths* land on the figures the paper reports:
+ *
+ *   local DDR5 load-to-use        ~ 105-115 ns
+ *   remote-socket (1 hop) load    ~ 1.5-1.7x local
+ *   CXL (Agilex-I) load           ~ 3.5-3.9x local for pointer chase
+ *                                   (paper Fig. 2: 3.7x), dominated by
+ *                                   the FPGA controller pipeline
+ *   local 8-channel load peak     ~ 221 GB/s at ~26 threads
+ *   local 8-channel nt-store peak ~ 170 GB/s
+ *   CXL sequential load peak      ~ 21 GB/s (DDR4-2666 = 21.3 GB/s
+ *                                   theoretical), degrading to ~17 at
+ *                                   high thread counts
+ */
+
+DramChannelParams
+localDdr5Channel()
+{
+    DramChannelParams p;
+    p.name = "ddr5-local";
+    p.peakGBps = 38.4;       // DDR5-4800, 8 B bus
+    p.busEfficiency = 0.72;  // sustained/peak of SPR iMC under load
+    p.tRowHit = ticksFromNs(15.0);
+    p.tRowMiss = ticksFromNs(46.0); // tRP+tRCD+tCL at 4800 MT/s
+    p.tBankCycle = ticksFromNs(48.0); // tRC
+    p.tWriteRecovery = ticksFromNs(15.0);
+    p.tTurnaround = ticksFromNs(7.5);
+    p.tFrontend = ticksFromNs(10.0);
+    p.numBanks = 32;         // bank groups x banks visible to the iMC
+    p.rowBytes = 8 * kiB;
+    p.scanDepth = 16;        // deep OoO scheduler in the iMC
+    p.maxHitRun = 16;
+    p.ntPostedEntries = 32;  // iMC write-pending queue share
+    p.writeEfficiency = 0.77; // tWTR/turnaround derating of writes
+    return p;
+}
+
+DramChannelParams
+remoteDdr5Channel()
+{
+    DramChannelParams p = localDdr5Channel();
+    p.name = "ddr5-remote";
+    p.busEfficiency = 0.80;  // single channel, no cross-channel mixing
+    return p;
+}
+
+DramChannelParams
+cxlDdr4Channel()
+{
+    DramChannelParams p;
+    p.name = "ddr4-cxl";
+    p.peakGBps = 21.3;       // DDR4-2666
+    p.busEfficiency = 0.97;  // paper: nt-store reaches theoretical max
+    p.tRowHit = ticksFromNs(14.0);
+    // The Agilex EMIF runs at a quarter-rate user clock; the bank
+    // cycle (precharge+activate plus controller bookkeeping) costs
+    // far more than an ASIC controller's, which is what pulls the
+    // channel below its bus peak once interleaved streams defeat the
+    // open rows (Fig. 3b's decline beyond ~12 threads).
+    p.tRowMiss = ticksFromNs(70.0);
+    p.tBankCycle = ticksFromNs(56.0); // EMIF bank machine @ user clock
+    p.tWriteRecovery = ticksFromNs(22.0);
+    p.tTurnaround = ticksFromNs(10.0);
+    p.tFrontend = ticksFromNs(25.0);
+    p.numBanks = 16;
+    p.rowBytes = 8 * kiB;
+    p.bankStripeBytes = 2 * kiB;
+    p.scanDepth = 6;         // FPGA-grade shallow scheduler
+    p.maxHitRun = 8;
+    p.maxDirectionRun = 8;
+    // EMIF writes pipeline slightly worse than reads; this gives the
+    // C2D > D2C asymmetry the paper attributes to "lower write
+    // latency on DRAM" (Fig. 4b).
+    p.writeEfficiency = 0.90;
+    return p;
+}
+
+CxlDeviceParams
+agilexCxlDevice()
+{
+    CxlDeviceParams p;
+    p.name = "cxl0";
+    p.link.rawGBps = 63.0;             // PCIe Gen5 x16
+    p.link.flitEfficiency = 64.0 / 68.0;
+    p.link.propagation = ticksFromNs(12.0);
+    p.link.headerBytes = 17;
+    p.link.dataBytes = 85;
+    // R-tile hard IP + SIP bridge + EMIF clock-domain crossings; this
+    // pair dominates the 3.7x pointer-chase ratio of Fig. 2.
+    p.controllerIngress = ticksFromNs(85.0);
+    p.controllerEgress = ticksFromNs(108.0);
+    p.readQueueEntries = 48;
+    p.writeBufferEntries = 40;
+    p.backend = cxlDdr4Channel();
+    return p;
+}
+
+UpiParams
+uiPathToRemote()
+{
+    UpiParams p;
+    p.name = "remote0";
+    p.linkGBps = 48.0;
+    p.hopLatency = ticksFromNs(32.0);
+    p.headerBytes = 16;
+    p.numChannels = 1; // the paper's DDR5-R1 comparison point
+    p.channel = remoteDdr5Channel();
+    return p;
+}
+
+HierarchyParams
+sprHierarchy(std::uint32_t numCores)
+{
+    HierarchyParams h;
+    h.numCores = numCores;
+    h.l1 = CacheParams{"l1d", 48 * kiB, 12, ticksFromNs(2.5)};
+    h.l2 = CacheParams{"l2", 2 * miB, 16, ticksFromNs(8.0)};
+    h.llc = CacheParams{"llc", 60 * miB, 15, ticksFromNs(22.0)};
+    h.uncoreLatency = ticksFromNs(12.0);
+    h.ntDispatchLatency = ticksFromNs(6.0);
+    h.prefetchEnabled = false;
+    h.prefetchDegree = 8;
+    h.prefetchStreams = 16;
+    // Calibrated so the flush+load probe lands ~1.25x above the
+    // pointer-chase latency on direct DRAM (paper Fig. 2 and [31]).
+    h.flushHandshakePenalty = ticksFromNs(110.0);
+    return h;
+}
+
+CoreParams
+sprCore()
+{
+    CoreParams c;
+    c.issueCost = ticksFromNs(0.4);
+    c.loadFillBuffers = 16;
+    c.wcBuffers = 8;
+    // The architectural store buffer is deeper, but RFO fills go
+    // through the same fill buffers as loads; this is the effective
+    // store MLP, not the store-buffer capacity.
+    c.storeBufferEntries = 14;
+    return c;
+}
+
+} // namespace testbed_params
+
+Machine::Machine(Testbed testbed, MachineOptions opts) : testbed_(testbed)
+{
+    using namespace testbed_params;
+
+    std::uint32_t cores = 32;
+    std::uint32_t local_channels = 8;
+    std::uint64_t local_capacity = 128 * giB;
+    std::uint64_t llc_bytes = 60 * miB;
+    bool with_remote = false;
+    bool with_cxl = true;
+
+    switch (testbed) {
+      case Testbed::SingleSocketCxl:
+        name_ = "spr-6414u+agilex";
+        break;
+      case Testbed::DualSocket:
+        name_ = "2x-spr-8460h+agilex";
+        cores = 40;
+        local_capacity = 128 * giB;
+        llc_bytes = 105 * miB;
+        with_remote = true;
+        break;
+      case Testbed::SncQuadrantCxl:
+        name_ = "spr-6414u-snc+agilex";
+        local_channels = 2;  // one SNC quadrant's iMCs
+        local_capacity = 32 * giB;
+        llc_bytes = 15 * miB; // one LLC slice
+        break;
+    }
+    if (opts.numCores)
+        cores = *opts.numCores;
+    if (opts.localChannels)
+        local_channels = *opts.localChannels;
+
+    local_ = std::make_unique<InterleavedMemory>(
+        eq_, "ddr5-l" + std::to_string(local_channels), localDdr5Channel(),
+        local_channels);
+    localNode_ = numa_.addNode("local-ddr5", local_.get(), local_capacity);
+
+    if (with_remote) {
+        remote_ = std::make_unique<UpiRemoteMemory>(eq_, uiPathToRemote());
+        remoteNode_ =
+            numa_.addNode("remote-ddr5", remote_.get(), 128 * giB);
+    }
+    if (with_cxl) {
+        cxl_ = std::make_unique<CxlMemDevice>(
+            eq_, opts.cxlDevice ? *opts.cxlDevice : agilexCxlDevice());
+        cxlNode_ = numa_.addNode("cxl-dram", cxl_.get(), 16 * giB,
+                                 /*hasCpu=*/false);
+        // The flushed-line handshake happens at the host home agent
+        // and applies to HDM-backed lines as well (NumaNode default).
+    }
+
+    HierarchyParams h = sprHierarchy(cores);
+    h.llc.sizeBytes = llc_bytes;
+    h.prefetchEnabled = opts.prefetchEnabled;
+    h.tlbEnabled = opts.tlbEnabled;
+    caches_ = std::make_unique<CacheHierarchy>(eq_, numa_, h);
+    dsa_ = std::make_unique<Dsa>(eq_, numa_, DsaParams{});
+    coreParams_ = sprCore();
+}
+
+NodeId
+Machine::remoteNode() const
+{
+    CXLMEMO_ASSERT(remote_ != nullptr, "testbed has no remote socket");
+    return remoteNode_;
+}
+
+NodeId
+Machine::cxlNode() const
+{
+    CXLMEMO_ASSERT(cxl_ != nullptr, "testbed has no CXL device");
+    return cxlNode_;
+}
+
+UpiRemoteMemory &
+Machine::remoteMem()
+{
+    CXLMEMO_ASSERT(remote_ != nullptr, "testbed has no remote socket");
+    return *remote_;
+}
+
+CxlMemDevice &
+Machine::cxlDev()
+{
+    CXLMEMO_ASSERT(cxl_ != nullptr, "testbed has no CXL device");
+    return *cxl_;
+}
+
+std::unique_ptr<HwThread>
+Machine::makeThread(std::uint16_t core)
+{
+    CXLMEMO_ASSERT(core < numCores(), "core %u beyond testbed", core);
+    return std::make_unique<HwThread>(*caches_, core, coreParams_);
+}
+
+void
+Machine::resetStats()
+{
+    local_->resetStats();
+    if (remote_)
+        remote_->resetStats();
+    if (cxl_)
+        cxl_->resetStats();
+}
+
+std::string
+Machine::statsString() const
+{
+    std::ostringstream os;
+    os << "Stats for " << name_ << "\n";
+    auto dev_line = [&os](const std::string &label,
+                          const DeviceStats &s) {
+        const auto row_total = s.rowHits + s.rowMisses;
+        os << "  " << label << ": reads " << s.reads << " (" 
+           << s.bytesRead / kiB << " KiB), writes " << s.writes << " ("
+           << s.bytesWritten / kiB << " KiB), row-hit "
+           << (row_total
+                   ? 100.0 * static_cast<double>(s.rowHits)
+                         / static_cast<double>(row_total)
+                   : 0.0)
+           << "%\n";
+    };
+    dev_line("local-ddr5 ", local_->stats());
+    if (remote_) {
+        dev_line("remote-ddr5", remote_->stats());
+        os << "    upi bytes: down " << remote_->bytesDown() / kiB
+           << " KiB, up " << remote_->bytesUp() / kiB << " KiB\n";
+    }
+    if (cxl_) {
+        dev_line("cxl-dram   ", cxl_->backendStats());
+        os << "    link bytes: M2S " << cxl_->bytesDown() / kiB
+           << " KiB, S2M " << cxl_->bytesUp() / kiB << " KiB\n";
+        const CxlControllerStats &cs = cxl_->controllerStats();
+        os << "    controller: reads stalled " << cs.readsStalled
+           << ", writes stalled " << cs.writesStalled
+           << ", write-buffer high-water " << cs.writeBufferHighWater
+           << "\n";
+    }
+    const CacheStats &llc = caches_->llcStats();
+    os << "  llc: hits " << llc.hits << ", misses " << llc.misses
+       << " (hit rate " << 100.0 * llc.hitRate() << "%), dirty evictions "
+       << llc.dirtyEvictions << "\n";
+    const PrefetchStats &pf = caches_->prefetchStats();
+    if (pf.issued)
+        os << "  prefetch: issued " << pf.issued << ", useful "
+           << pf.usefulHits << "\n";
+    if (caches_->params().tlbEnabled)
+        os << "  tlb: walks " << caches_->tlbWalks() << ", stlb hits "
+           << caches_->stlbHits() << "\n";
+    os << "  dsa: bytes copied " << dsa_->bytesCopied() / kiB
+       << " KiB\n";
+    return os.str();
+}
+
+std::string
+Machine::configString() const
+{
+    std::ostringstream os;
+    os << "Testbed: " << name_ << "\n";
+    os << "  cores: " << numCores()
+       << " (issue " << nsFromTicks(coreParams_.issueCost)
+       << " ns/op, " << coreParams_.loadFillBuffers << " LFBs, "
+       << coreParams_.wcBuffers << " WC buffers)\n";
+    const auto &h = caches_->params();
+    os << "  L1D " << h.l1.sizeBytes / kiB << " KiB, L2 "
+       << h.l2.sizeBytes / miB << " MiB, LLC "
+       << h.llc.sizeBytes / miB << " MiB shared\n";
+    os << "  node0 local-ddr5: " << local_->numChannels()
+       << "x DDR5-4800 channels, "
+       << numa_.node(localNode_).capacityBytes / giB << " GiB\n";
+    if (remote_) {
+        os << "  node1 remote-ddr5 (UPI): "
+           << remote_->params().numChannels << "x DDR5-4800, "
+           << numa_.node(remoteNode_).capacityBytes / giB << " GiB\n";
+    }
+    if (cxl_) {
+        os << "  node" << cxlNode_
+           << " cxl-dram (CXL 1.1 x16, Agilex-I): 1x DDR4-2666, "
+           << numa_.node(cxlNode_).capacityBytes / giB
+           << " GiB, CPU-less\n";
+    }
+    return os.str();
+}
+
+} // namespace cxlmemo

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Testbed assembly: wires cores, caches, NUMA nodes, DRAM channels,
+ * the UPI link and the CXL device into the machines of the paper's
+ * Table 1. All calibration constants live in machine.cc with their
+ * provenance.
+ */
+
+#ifndef CXLMEMO_SYSTEM_MACHINE_HH
+#define CXLMEMO_SYSTEM_MACHINE_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cache/hierarchy.hh"
+#include "cpu/core.hh"
+#include "cxl/device.hh"
+#include "dsa/dsa.hh"
+#include "interconnect/upi.hh"
+#include "mem/dram.hh"
+#include "numa/numa.hh"
+#include "sim/event_queue.hh"
+
+namespace cxlmemo
+{
+
+/** Which of the paper's testbeds to build. */
+enum class Testbed
+{
+    /** Intel Xeon Gold 6414U: 32 cores, 60 MB LLC, 8x DDR5-4800,
+     *  CXL 1.1 x16 with the Agilex-I device (16 GB DDR4-2666). */
+    SingleSocketCxl,
+
+    /** 2x Intel Xeon Platinum 8460H: adds a remote-socket DDR5 node
+     *  behind UPI (populated with one channel, the paper's DDR5-R1). */
+    DualSocket,
+
+    /** Single socket in SNC mode, workload confined to one quadrant's
+     *  memory controllers: 2 DDR5 channels + 15 MB LLC slice, plus the
+     *  CXL device (the bandwidth-bound setup of Fig. 9). */
+    SncQuadrantCxl,
+};
+
+/** Optional knobs applied on top of a testbed preset. */
+struct MachineOptions
+{
+    bool prefetchEnabled = false;
+    /** Enable the per-core DTLB model (see HierarchyParams). */
+    bool tlbEnabled = false;
+    std::optional<std::uint32_t> numCores;
+    std::optional<std::uint32_t> localChannels;
+    /** Replace the CXL device (e.g. a hypothetical ASIC; see
+     *  bench_future_cxl). */
+    std::optional<CxlDeviceParams> cxlDevice;
+};
+
+/**
+ * A fully assembled simulated machine. Owns the event queue, devices,
+ * NUMA space and cache hierarchy; workloads create HwThreads on top.
+ */
+class Machine
+{
+  public:
+    explicit Machine(Testbed testbed, MachineOptions opts = {});
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    EventQueue &eq() { return eq_; }
+    NumaSpace &numa() { return numa_; }
+    CacheHierarchy &caches() { return *caches_; }
+    const CoreParams &coreParams() const { return coreParams_; }
+    Testbed testbed() const { return testbed_; }
+    const std::string &name() const { return name_; }
+
+    std::uint32_t numCores() const { return caches_->params().numCores; }
+
+    /** NUMA node ids (fatal accessor if absent on this testbed). */
+    NodeId localNode() const { return localNode_; }
+    NodeId remoteNode() const;
+    NodeId cxlNode() const;
+    bool hasRemote() const { return remote_ != nullptr; }
+    bool hasCxl() const { return cxl_ != nullptr; }
+
+    /** Device accessors for stats inspection. */
+    InterleavedMemory &localMem() { return *local_; }
+    Dsa &dsa() { return *dsa_; }
+    UpiRemoteMemory &remoteMem();
+    CxlMemDevice &cxlDev();
+
+    /** Create a thread pinned to @p core with this machine's core
+     *  parameters. */
+    std::unique_ptr<HwThread> makeThread(std::uint16_t core);
+
+    /** Reset all device/cache statistics (not state). */
+    void resetStats();
+
+    /** Human-readable configuration dump (Table 1 reproduction). */
+    std::string configString() const;
+
+    /**
+     * Machine-wide statistics report: per-node device traffic and
+     * row-buffer behaviour, CXL link/controller counters, LLC hit
+     * rate, prefetcher and TLB activity. Intended for experiment
+     * post-mortems and debugging.
+     */
+    std::string statsString() const;
+
+  private:
+    Testbed testbed_;
+    std::string name_;
+    EventQueue eq_;
+    NumaSpace numa_;
+
+    std::unique_ptr<InterleavedMemory> local_;
+    std::unique_ptr<UpiRemoteMemory> remote_;
+    std::unique_ptr<CxlMemDevice> cxl_;
+    std::unique_ptr<CacheHierarchy> caches_;
+    std::unique_ptr<Dsa> dsa_;
+    CoreParams coreParams_;
+
+    NodeId localNode_ = 0;
+    NodeId remoteNode_ = 0;
+    NodeId cxlNode_ = 0;
+};
+
+/** Calibrated component parameter factories (shared with tests). */
+namespace testbed_params
+{
+
+/** One local DDR5-4800 channel behind the SPR iMC. */
+DramChannelParams localDdr5Channel();
+
+/** One remote-socket DDR5-4800 channel (behind UPI). */
+DramChannelParams remoteDdr5Channel();
+
+/** The DDR4-2666 channel behind the Agilex-I EMIF. */
+DramChannelParams cxlDdr4Channel();
+
+/** The Agilex-I CXL Type-3 device. */
+CxlDeviceParams agilexCxlDevice();
+
+/** The UPI path to the second socket. */
+UpiParams uiPathToRemote();
+
+/** SPR cache hierarchy (single socket, unified mode). */
+HierarchyParams sprHierarchy(std::uint32_t numCores);
+
+/** SPR core issue resources. */
+CoreParams sprCore();
+
+} // namespace testbed_params
+
+} // namespace cxlmemo
+
+#endif // CXLMEMO_SYSTEM_MACHINE_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the DLRM embedding-reduction model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/dlrm/dlrm.hh"
+
+namespace cxlmemo
+{
+namespace dlrm
+{
+namespace
+{
+
+DlrmParams
+smallModel()
+{
+    DlrmParams p;
+    p.tables = 4;
+    p.rowsPerTable = 100'000;
+    p.pooling = 8;
+    return p;
+}
+
+TEST(Dlrm, StreamEmitsWholeInferences)
+{
+    Machine m(Testbed::SingleSocketCxl);
+    DlrmParams p = smallModel();
+    DlrmModel model(m, p, MemPolicy::membind(m.localNode()));
+    std::uint64_t count = 0;
+    auto stream = model.makeWorkerStream(0, &count);
+    MemOp op;
+    int loads = 0;
+    // Drain exactly one inference: counter flips at its MLP block.
+    while (count == 0 && stream->next(op)) {
+        if (op.kind == MemOp::Kind::Load)
+            ++loads;
+    }
+    // tables * pooling rows * 4 lines per 256 B row.
+    EXPECT_EQ(loads, 4 * 8 * 4);
+}
+
+TEST(Dlrm, FootprintMatchesGeometry)
+{
+    Machine m(Testbed::SingleSocketCxl);
+    DlrmParams p = smallModel();
+    DlrmModel model(m, p, MemPolicy::membind(m.localNode()));
+    EXPECT_EQ(model.footprintBytes(),
+              std::uint64_t(4) * 100'000 * 256);
+}
+
+TEST(Dlrm, ThroughputScalesWithThreadsOnDram)
+{
+    DlrmParams p = smallModel();
+    p.rowsPerTable = 500'000;
+    Machine m1(Testbed::SingleSocketCxl);
+    const double t1 = runInferenceThroughput(
+        m1, p, MemPolicy::membind(m1.localNode()), 1, 30, 150);
+    Machine m8(Testbed::SingleSocketCxl);
+    const double t8 = runInferenceThroughput(
+        m8, p, MemPolicy::membind(m8.localNode()), 8, 30, 150);
+    EXPECT_GT(t8, 6.0 * t1);
+}
+
+TEST(Dlrm, CxlSaturatesEarly)
+{
+    DlrmParams p;
+    p.rowsPerTable = 1'000'000;
+    Machine m8(Testbed::SingleSocketCxl);
+    const double c8 = runInferenceThroughput(
+        m8, p, MemPolicy::membind(m8.cxlNode()), 8, 30, 200);
+    Machine m32(Testbed::SingleSocketCxl);
+    const double c32 = runInferenceThroughput(
+        m32, p, MemPolicy::membind(m32.cxlNode()), 32, 30, 200);
+    // Random-bandwidth bound: 4x the threads buys < 2x throughput.
+    EXPECT_LT(c32, 2.0 * c8);
+}
+
+TEST(Dlrm, InterleaveOrderingHolds)
+{
+    DlrmParams p;
+    p.rowsPerTable = 1'000'000;
+    auto at32 = [&](double frac) {
+        Machine m(Testbed::SingleSocketCxl);
+        return runInferenceThroughput(
+            m, p,
+            MemPolicy::splitDramCxl(m.localNode(), m.cxlNode(), frac),
+            32, 30, 200);
+    };
+    const double dram = at32(0.0);
+    const double half = at32(0.5);
+    const double cxl = at32(1.0);
+    EXPECT_GT(dram, half);
+    EXPECT_GT(half, cxl);
+}
+
+TEST(Dlrm, SncBenefitsFromCxlInterleaveAtHighThreads)
+{
+    // Fig. 9's headline effect: bandwidth-bound SNC + CXL interleave.
+    DlrmParams p;
+    p.rowsPerTable = 1'000'000;
+    Machine snc(Testbed::SncQuadrantCxl);
+    const double snc_only = runInferenceThroughput(
+        snc, p, MemPolicy::membind(snc.localNode()), 32, 30, 250);
+    Machine mixed(Testbed::SncQuadrantCxl);
+    const double with_cxl = runInferenceThroughput(
+        mixed, p,
+        MemPolicy::splitDramCxl(mixed.localNode(), mixed.cxlNode(), 0.2),
+        32, 30, 250);
+    EXPECT_GT(with_cxl, snc_only * 1.03);
+}
+
+TEST(Dlrm, DeterministicAcrossRuns)
+{
+    DlrmParams p = smallModel();
+    auto run = [&] {
+        Machine m(Testbed::SingleSocketCxl);
+        return runInferenceThroughput(
+            m, p, MemPolicy::membind(m.localNode()), 4, 20, 100);
+    };
+    EXPECT_DOUBLE_EQ(run(), run());
+}
+
+} // namespace
+} // namespace dlrm
+} // namespace cxlmemo

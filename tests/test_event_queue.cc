@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, same-tick FIFO
+ * semantics, runUntil boundaries and reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace cxlmemo
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.eventsExecuted(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbacksMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            eq.scheduleIn(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.curTick(), 40u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimitInclusive)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(50, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.schedule(101, [&] { ++fired; });
+    const bool drained = eq.runUntil(100);
+    EXPECT_FALSE(drained);
+    EXPECT_EQ(fired, 2);        // the event exactly at the limit runs
+    EXPECT_EQ(eq.curTick(), 100u);
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilReturnsTrueWhenDrained)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    EXPECT_TRUE(eq.runUntil(1000));
+}
+
+TEST(EventQueue, RunUntilAdvancesClockToLimitWhenStopped)
+{
+    EventQueue eq;
+    eq.schedule(500, [] {});
+    eq.runUntil(200);
+    EXPECT_EQ(eq.curTick(), 200u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick observed = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleIn(25, [&] { observed = eq.curTick(); });
+    });
+    eq.run();
+    EXPECT_EQ(observed, 125u);
+}
+
+TEST(EventQueue, ResetDropsPendingEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.reset();
+    eq.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.curTick(), 0u);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.eventsExecuted(), 7u);
+}
+
+TEST(EventQueueDeathTest, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "scheduling into the past");
+}
+
+TEST(Types, TickConversionsRoundTrip)
+{
+    EXPECT_EQ(ticksFromNs(1.0), tickPerNs);
+    EXPECT_EQ(ticksFromUs(1.0), 1000 * tickPerNs);
+    EXPECT_EQ(ticksFromMs(1.0), 1000000 * tickPerNs);
+    EXPECT_DOUBLE_EQ(nsFromTicks(ticksFromNs(123.0)), 123.0);
+    EXPECT_DOUBLE_EQ(usFromTicks(ticksFromUs(7.0)), 7.0);
+}
+
+TEST(Types, BandwidthHelpers)
+{
+    // 64 bytes in 1 ns = 64 GB/s.
+    EXPECT_NEAR(gbPerSec(64, ticksFromNs(1.0)), 64.0, 1e-9);
+    // Serialization of 64 B at 64 GB/s = 1 ns.
+    EXPECT_EQ(serializationTicks(64, 64.0), ticksFromNs(1.0));
+    EXPECT_EQ(gbPerSec(100, 0), 0.0);
+}
+
+} // namespace
+} // namespace cxlmemo

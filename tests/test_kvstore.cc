@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the YCSB generator and the Redis-like KV store model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/kvstore/kvstore.hh"
+
+namespace cxlmemo
+{
+namespace kv
+{
+namespace
+{
+
+TEST(Ycsb, WorkloadMixesMatchDefinitions)
+{
+    EXPECT_DOUBLE_EQ(YcsbWorkload::a().read, 0.5);
+    EXPECT_DOUBLE_EQ(YcsbWorkload::a().update, 0.5);
+    EXPECT_DOUBLE_EQ(YcsbWorkload::b().read, 0.95);
+    EXPECT_DOUBLE_EQ(YcsbWorkload::c().read, 1.0);
+    EXPECT_DOUBLE_EQ(YcsbWorkload::d().insert, 0.05);
+    EXPECT_EQ(YcsbWorkload::d().dist, KeyDist::Latest);
+    EXPECT_DOUBLE_EQ(YcsbWorkload::f().rmw, 0.5);
+}
+
+TEST(Ycsb, MixProportionsObserved)
+{
+    YcsbGenerator gen(YcsbWorkload::a(), 10000, 10000, 1);
+    int reads = 0;
+    int updates = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const YcsbRequest r = gen.next();
+        reads += r.op == YcsbOp::Read;
+        updates += r.op == YcsbOp::Update;
+    }
+    EXPECT_NEAR(reads, 10000, 400);
+    EXPECT_NEAR(updates, 10000, 400);
+}
+
+TEST(Ycsb, InsertsGrowTheKeyspace)
+{
+    YcsbGenerator gen(YcsbWorkload::d(), 1000, 2000, 2);
+    for (int i = 0; i < 5000; ++i)
+        gen.next();
+    EXPECT_GT(gen.keyCount(), 1100u);
+    EXPECT_LE(gen.keyCount(), 2000u);
+}
+
+TEST(Ycsb, LatestDistributionFavoursRecentKeys)
+{
+    YcsbGenerator gen(YcsbWorkload::d(KeyDist::Latest), 100000, 120000,
+                      3);
+    std::uint64_t recent = 0;
+    std::uint64_t total_reads = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const YcsbRequest r = gen.next();
+        if (r.op != YcsbOp::Read)
+            continue;
+        ++total_reads;
+        if (r.key + 1000 >= gen.keyCount())
+            ++recent;
+    }
+    // The newest 1% of keys draws a large share of reads.
+    EXPECT_GT(recent, total_reads / 4);
+}
+
+TEST(Ycsb, UniformCoversKeySpace)
+{
+    YcsbGenerator gen(YcsbWorkload::c(), 1000, 1000, 4);
+    std::vector<int> histo(10, 0);
+    for (int i = 0; i < 20000; ++i)
+        histo[gen.next().key / 100]++;
+    for (int b = 0; b < 10; ++b)
+        EXPECT_NEAR(histo[b], 2000, 300);
+}
+
+TEST(Ycsb, KeysStayBelowCount)
+{
+    for (KeyDist d :
+         {KeyDist::Uniform, KeyDist::Zipfian, KeyDist::Latest}) {
+        YcsbGenerator gen(YcsbWorkload::a(d), 5000, 5000, 5);
+        for (int i = 0; i < 5000; ++i)
+            ASSERT_LT(gen.next().key, gen.keyCount());
+    }
+}
+
+TEST(KvStore, FootprintScalesWithKeys)
+{
+    Machine m(Testbed::SingleSocketCxl);
+    KvStoreParams p;
+    p.numKeys = 100'000;
+    p.insertHeadroom = 0;
+    KvStore store(m, p, MemPolicy::membind(m.localNode()));
+    // 8 B bucket + 128 B entry + 1 KiB value per key, page-padded.
+    EXPECT_NEAR(static_cast<double>(store.footprintBytes()),
+                100'000.0 * (8 + 128 + 1024), 2.0 * pageBytes * 3);
+}
+
+TEST(KvStore, OpsReflectRequestType)
+{
+    Machine m(Testbed::SingleSocketCxl);
+    KvStoreParams p;
+    p.numKeys = 10'000;
+    p.insertHeadroom = 100;
+    KvStore store(m, p, MemPolicy::membind(m.localNode()));
+    std::vector<MemOp> ops;
+
+    store.buildOps({YcsbOp::Read, 5}, ops);
+    int dep = 0;
+    int st = 0;
+    for (const MemOp &op : ops) {
+        dep += op.kind == MemOp::Kind::DependentLoad;
+        st += op.kind == MemOp::Kind::Store;
+    }
+    EXPECT_GT(dep, 10); // lookup walk + field walk
+    EXPECT_EQ(st, 0);   // pure read
+
+    store.buildOps({YcsbOp::Update, 5}, ops);
+    st = 0;
+    for (const MemOp &op : ops)
+        st += op.kind == MemOp::Kind::Store;
+    EXPECT_EQ(st, 20); // 10 fields x 2 lines
+
+    store.buildOps({YcsbOp::Insert, 10'000}, ops);
+    st = 0;
+    for (const MemOp &op : ops)
+        st += op.kind == MemOp::Kind::Store;
+    EXPECT_GT(st, 20); // value + dict linkage
+}
+
+TEST(KvStore, ServiceSlowerOnCxl)
+{
+    KvStoreParams p;
+    p.numKeys = 200'000;
+    const double dram = maxSustainableQps(YcsbWorkload::a(), 0.0, 0.05,
+                                          p);
+    const double cxl = maxSustainableQps(YcsbWorkload::a(), 1.0, 0.05,
+                                         p);
+    EXPECT_GT(dram, cxl * 1.1);
+}
+
+TEST(KvStore, InterleaveSitsBetweenExtremes)
+{
+    KvStoreParams p;
+    p.numKeys = 200'000;
+    const double dram = maxSustainableQps(YcsbWorkload::a(), 0.0, 0.05,
+                                          p);
+    const double half = maxSustainableQps(YcsbWorkload::a(), 0.5, 0.05,
+                                          p);
+    const double cxl = maxSustainableQps(YcsbWorkload::a(), 1.0, 0.05,
+                                         p);
+    EXPECT_GT(dram, half);
+    EXPECT_GT(half, cxl);
+}
+
+TEST(KvStore, OpenLoopKeepsUpBelowSaturation)
+{
+    KvStoreParams p;
+    p.numKeys = 200'000;
+    const KvRunResult r = runYcsb(YcsbWorkload::a(), 0.0, 20'000, 0.05,
+                                  p);
+    EXPECT_NEAR(r.achievedQps, 20'000, 3'000);
+    EXPECT_GT(r.p99ReadUs, 0.0);
+    EXPECT_GT(r.p99UpdateUs, 0.0);
+}
+
+TEST(KvStore, TailLatencyGapAtLowLoad)
+{
+    KvStoreParams p;
+    p.numKeys = 200'000;
+    const KvRunResult dram = runYcsb(YcsbWorkload::a(), 0.0, 20'000,
+                                     0.08, p);
+    const KvRunResult cxl = runYcsb(YcsbWorkload::a(), 1.0, 20'000,
+                                    0.08, p);
+    // Paper Fig. 6: a visible constant p99 gap well below saturation.
+    EXPECT_GT(cxl.p99ReadUs, dram.p99ReadUs * 1.1);
+}
+
+TEST(KvStore, WorkloadDLatestIsLessSensitive)
+{
+    // Reads of fresh inserts hit cached lines: the CXL penalty on
+    // max QPS shrinks vs the uniform variant (paper Fig. 7, D-lat).
+    KvStoreParams p;
+    p.numKeys = 200'000;
+    p.insertHeadroom = 50'000;
+    const double d_lat_cxl = maxSustainableQps(
+        YcsbWorkload::d(KeyDist::Latest), 1.0, 0.05, p);
+    const double d_uni_cxl = maxSustainableQps(
+        YcsbWorkload::d(KeyDist::Uniform), 1.0, 0.05, p);
+    EXPECT_GT(d_lat_cxl, d_uni_cxl);
+}
+
+} // namespace
+} // namespace kv
+} // namespace cxlmemo

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the MEMO command-line parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memo/cli.hh"
+
+namespace cxlmemo
+{
+namespace memo
+{
+namespace
+{
+
+std::optional<CliConfig>
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<std::string> v;
+    for (const char *a : args)
+        v.emplace_back(a);
+    std::string err;
+    return parseCli(v, err);
+}
+
+TEST(MemoCli, ParseSizeSuffixes)
+{
+    EXPECT_EQ(parseSize("512"), 512u);
+    EXPECT_EQ(parseSize("16K"), 16 * kiB);
+    EXPECT_EQ(parseSize("16k"), 16 * kiB);
+    EXPECT_EQ(parseSize("4M"), 4 * miB);
+    EXPECT_EQ(parseSize("1G"), 1 * giB);
+    EXPECT_FALSE(parseSize("").has_value());
+    EXPECT_FALSE(parseSize("K").has_value());
+    EXPECT_FALSE(parseSize("12x").has_value());
+    EXPECT_FALSE(parseSize("-5").has_value());
+}
+
+TEST(MemoCli, ParseListAndRangeSpecs)
+{
+    auto list = parseListSpec("1,2,4");
+    ASSERT_TRUE(list.has_value());
+    EXPECT_EQ(*list, (std::vector<std::uint64_t>{1, 2, 4}));
+
+    auto range = parseListSpec("1-32");
+    ASSERT_TRUE(range.has_value());
+    EXPECT_EQ(*range,
+              (std::vector<std::uint64_t>{1, 2, 4, 8, 16, 32}));
+
+    auto sizes = parseListSpec("16K-64K");
+    ASSERT_TRUE(sizes.has_value());
+    EXPECT_EQ(*sizes, (std::vector<std::uint64_t>{16 * kiB, 32 * kiB,
+                                                  64 * kiB}));
+
+    EXPECT_FALSE(parseListSpec("8-4").has_value());
+    EXPECT_FALSE(parseListSpec("a,b").has_value());
+    EXPECT_FALSE(parseListSpec("").has_value());
+}
+
+TEST(MemoCli, RangeIncludesOddEndpoint)
+{
+    auto range = parseListSpec("1-24");
+    ASSERT_TRUE(range.has_value());
+    EXPECT_EQ(range->back(), 24u);
+    EXPECT_EQ(range->front(), 1u);
+}
+
+TEST(MemoCli, FullSeqInvocation)
+{
+    auto cfg = parse({"--mode", "seq", "--target", "cxl", "--op",
+                      "nt-store", "--threads", "1,2,4", "--csv"});
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->mode, CliMode::Seq);
+    EXPECT_EQ(cfg->target, Target::Cxl);
+    EXPECT_EQ(cfg->op, MemOp::Kind::NtStore);
+    EXPECT_EQ(cfg->threads,
+              (std::vector<std::uint32_t>{1, 2, 4}));
+    EXPECT_TRUE(cfg->csv);
+}
+
+TEST(MemoCli, CopyInvocation)
+{
+    auto cfg = parse({"--mode", "copy", "--path", "c2d", "--method",
+                      "dsa", "--batch", "16"});
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->mode, CliMode::Copy);
+    EXPECT_EQ(cfg->path, CopyPath::C2D);
+    EXPECT_EQ(cfg->method, CopyMethod::DsaAsync);
+    EXPECT_EQ(cfg->batch, 16u);
+}
+
+TEST(MemoCli, TargetAliases)
+{
+    EXPECT_EQ(parse({"--target", "dram"})->target, Target::Ddr5Local);
+    EXPECT_EQ(parse({"--target", "local"})->target, Target::Ddr5Local);
+    EXPECT_EQ(parse({"--target", "remote"})->target,
+              Target::Ddr5Remote);
+    EXPECT_EQ(parse({"--target", "ddr5-r1"})->target,
+              Target::Ddr5Remote);
+}
+
+TEST(MemoCli, ChaseRequiresWss)
+{
+    EXPECT_FALSE(parse({"--mode", "chase"}).has_value());
+    auto cfg = parse({"--mode", "chase", "--wss", "16K-1M"});
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_FALSE(cfg->wssBytes.empty());
+}
+
+TEST(MemoCli, RejectsBadInput)
+{
+    EXPECT_FALSE(parse({"--mode", "warp"}).has_value());
+    EXPECT_FALSE(parse({"--target", "optane"}).has_value());
+    EXPECT_FALSE(parse({"--threads"}).has_value()); // missing value
+    EXPECT_FALSE(parse({"--threads", "0"}).has_value());
+    EXPECT_FALSE(parse({"--threads", "100"}).has_value());
+    EXPECT_FALSE(parse({"--frobnicate"}).has_value());
+}
+
+TEST(MemoCli, HelpShortCircuits)
+{
+    auto cfg = parse({"--help"});
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->mode, CliMode::Help);
+    EXPECT_NE(cliUsage().find("--mode"), std::string::npos);
+}
+
+TEST(MemoCli, DefaultsAreSane)
+{
+    auto cfg = parse({"--mode", "seq"});
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->target, Target::Ddr5Local);
+    EXPECT_EQ(cfg->op, MemOp::Kind::Load);
+    EXPECT_EQ(cfg->threads, (std::vector<std::uint32_t>{1}));
+    EXPECT_FALSE(cfg->prefetch);
+    EXPECT_FALSE(cfg->csv);
+    EXPECT_EQ(cfg->seed, 42u);
+}
+
+} // namespace
+} // namespace memo
+} // namespace cxlmemo

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the statistics containers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+namespace cxlmemo
+{
+namespace
+{
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, TracksMinMeanMax)
+{
+    RunningStats s;
+    for (double v : {4.0, 1.0, 7.0, 2.0})
+        s.record(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(SampleSeries, ExactPercentiles)
+{
+    SampleSeries s;
+    for (int i = 1; i <= 100; ++i)
+        s.record(i);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(SampleSeries, NearestRankOnSmallSets)
+{
+    SampleSeries s;
+    s.record(10.0);
+    s.record(20.0);
+    s.record(30.0);
+    // nearest-rank: p99 of 3 samples = ceil(0.99*3)=3rd -> 30.
+    EXPECT_DOUBLE_EQ(s.p99(), 30.0);
+    EXPECT_DOUBLE_EQ(s.p50(), 20.0);
+}
+
+TEST(SampleSeries, UnsortedInputHandled)
+{
+    SampleSeries s;
+    for (double v : {5.0, 1.0, 3.0, 2.0, 4.0})
+        s.record(v);
+    EXPECT_DOUBLE_EQ(s.percentile(20), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(SampleSeriesDeathTest, PercentileOfEmptyPanics)
+{
+    SampleSeries s;
+    EXPECT_DEATH(s.percentile(50), "empty");
+}
+
+TEST(BandwidthMeter, MeasuresOverWindow)
+{
+    BandwidthMeter m;
+    m.addBytes(1000); // before start: ignored
+    m.start(ticksFromUs(10));
+    m.addBytes(64000);
+    m.addBytes(64000);
+    m.stop(ticksFromUs(11)); // 1 us window
+    EXPECT_EQ(m.bytes(), 128000u);
+    EXPECT_NEAR(m.gbps(), 128.0, 1e-9);
+}
+
+TEST(BandwidthMeterDeathTest, ReadingWhileRunningPanics)
+{
+    BandwidthMeter m;
+    m.start(0);
+    EXPECT_DEATH(m.gbps(), "still running");
+}
+
+} // namespace
+} // namespace cxlmemo

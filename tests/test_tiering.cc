@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the page-tiering daemon.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/tiering/tiering.hh"
+#include "cpu/streams.hh"
+
+namespace cxlmemo
+{
+namespace tiering
+{
+namespace
+{
+
+TieringParams
+smallParams(std::uint64_t budgetPages)
+{
+    TieringParams p;
+    p.dramBudgetPages = budgetPages;
+    p.scanInterval = ticksFromUs(100.0);
+    p.hotThreshold = 2;
+    p.migrationBurst = 64;
+    return p;
+}
+
+TEST(Tiering, InitialPlacementFillsBudgetFromTheFront)
+{
+    Machine m(Testbed::SingleSocketCxl);
+    TieredBuffer buf(m, 64 * pageBytes, smallParams(16));
+    EXPECT_EQ(buf.stats().dramResidentPages, 16u);
+    // First 16 pages on DRAM, rest on CXL.
+    EXPECT_EQ(nodeOfPaddr(buf.peek(0)), m.localNode());
+    EXPECT_EQ(nodeOfPaddr(buf.peek(20 * pageBytes)), m.cxlNode());
+}
+
+TEST(Tiering, HotCxlPagePromotesAndColdDramPageDemotes)
+{
+    Machine m(Testbed::SingleSocketCxl);
+    TieredBuffer buf(m, 64 * pageBytes, smallParams(16));
+    buf.startDaemon();
+    const std::uint64_t hot = 40 * pageBytes; // starts on CXL
+    ASSERT_EQ(nodeOfPaddr(buf.peek(hot)), m.cxlNode());
+    // Hammer the hot page across two scan intervals.
+    for (int i = 0; i < 200; ++i) {
+        buf.touch(hot);
+        m.eq().runUntil(m.eq().curTick() + ticksFromNs(1000));
+    }
+    m.eq().runUntil(m.eq().curTick() + ticksFromUs(300));
+    EXPECT_EQ(nodeOfPaddr(buf.peek(hot)), m.localNode());
+    EXPECT_GE(buf.stats().promotions, 1u);
+    EXPECT_GE(buf.stats().demotions, 1u);
+    // The budget is never exceeded.
+    EXPECT_LE(buf.stats().dramResidentPages, 16u);
+}
+
+TEST(Tiering, ResidencyNeverExceedsBudget)
+{
+    Machine m(Testbed::SingleSocketCxl);
+    TieredBuffer buf(m, 256 * pageBytes, smallParams(32));
+    buf.startDaemon();
+    Rng rng(4);
+    for (int step = 0; step < 2000; ++step) {
+        buf.touch(rng.below(256) * pageBytes);
+        if (step % 50 == 0)
+            m.eq().runUntil(m.eq().curTick() + ticksFromUs(30));
+        ASSERT_LE(buf.stats().dramResidentPages, 32u);
+    }
+}
+
+TEST(Tiering, NoDaemonNoMigration)
+{
+    Machine m(Testbed::SingleSocketCxl);
+    TieredBuffer buf(m, 64 * pageBytes, smallParams(8));
+    for (int i = 0; i < 1000; ++i)
+        buf.touch(50 * pageBytes);
+    m.eq().runUntil(ticksFromUs(500));
+    EXPECT_EQ(buf.stats().promotions, 0u);
+    EXPECT_EQ(nodeOfPaddr(buf.peek(50 * pageBytes)), m.cxlNode());
+}
+
+TEST(Tiering, MigrationMovesBytesThroughDsa)
+{
+    Machine m(Testbed::SingleSocketCxl);
+    TieredBuffer buf(m, 64 * pageBytes, smallParams(16));
+    buf.startDaemon();
+    const std::uint64_t before = m.dsa().bytesCopied();
+    for (int i = 0; i < 300; ++i) {
+        buf.touch(40 * pageBytes);
+        m.eq().runUntil(m.eq().curTick() + ticksFromNs(500));
+    }
+    m.eq().runUntil(m.eq().curTick() + ticksFromUs(400));
+    EXPECT_GT(m.dsa().bytesCopied(), before);
+}
+
+TEST(Tiering, SkewedWorkloadConvergesHotToDram)
+{
+    Machine m(Testbed::SingleSocketCxl);
+    TieredBuffer buf(m, 1024 * pageBytes, smallParams(256));
+    buf.startDaemon();
+    // 16 scattered hot pages, everything else cold.
+    std::vector<std::uint64_t> hot;
+    for (int i = 0; i < 16; ++i)
+        hot.push_back((splitMix64(i) % 1024) * pageBytes);
+    for (int round = 0; round < 40; ++round) {
+        for (std::uint64_t h : hot)
+            for (int k = 0; k < 8; ++k)
+                buf.touch(h);
+        m.eq().runUntil(m.eq().curTick() + ticksFromUs(60));
+    }
+    int resident = 0;
+    for (std::uint64_t h : hot)
+        resident += nodeOfPaddr(buf.peek(h)) == m.localNode();
+    EXPECT_GE(resident, 14); // essentially all hot pages promoted
+}
+
+TEST(TieringDeathTest, BudgetBeyondBufferIsFatal)
+{
+    Machine m(Testbed::SingleSocketCxl);
+    EXPECT_DEATH(TieredBuffer(m, 4 * pageBytes, smallParams(8)),
+                 "budget larger");
+}
+
+} // namespace
+} // namespace tiering
+} // namespace cxlmemo

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the optional DTLB model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/streams.hh"
+#include "system/machine.hh"
+
+namespace cxlmemo
+{
+namespace
+{
+
+MachineOptions
+withTlb()
+{
+    MachineOptions o;
+    o.tlbEnabled = true;
+    return o;
+}
+
+TEST(Tlb, DisabledByDefaultAndFree)
+{
+    Machine m(Testbed::SingleSocketCxl);
+    NumaBuffer buf = m.numa().alloc(16 * miB,
+                                    MemPolicy::membind(m.localNode()));
+    m.caches().load(0, buf.translate(0), 0, [](Tick) {});
+    m.eq().run();
+    EXPECT_EQ(m.caches().tlbWalks(), 0u);
+}
+
+TEST(Tlb, FirstTouchWalksThenHits)
+{
+    Machine m(Testbed::SingleSocketCxl, withTlb());
+    NumaBuffer buf = m.numa().alloc(16 * miB,
+                                    MemPolicy::membind(m.localNode()));
+    Tick first = 0;
+    m.caches().load(0, buf.translate(0), 0, [&](Tick t) { first = t; });
+    m.eq().run();
+    EXPECT_EQ(m.caches().tlbWalks(), 1u);
+
+    // Same page, different line: no second walk, and faster.
+    const Tick t0 = m.eq().curTick();
+    Tick second = 0;
+    m.caches().load(0, buf.translate(128), t0,
+                    [&](Tick t) { second = t; });
+    m.eq().run();
+    EXPECT_EQ(m.caches().tlbWalks(), 1u);
+    EXPECT_LT(second - t0, first);
+}
+
+TEST(Tlb, WalkAddsConfiguredLatency)
+{
+    Machine plain(Testbed::SingleSocketCxl);
+    Machine tlbm(Testbed::SingleSocketCxl, withTlb());
+    NumaBuffer a = plain.numa().alloc(
+        1 * miB, MemPolicy::membind(plain.localNode()));
+    NumaBuffer b = tlbm.numa().alloc(
+        1 * miB, MemPolicy::membind(tlbm.localNode()));
+
+    Tick done_plain = 0;
+    plain.caches().load(0, a.translate(0), 0,
+                        [&](Tick t) { done_plain = t; });
+    plain.eq().run();
+    Tick done_tlb = 0;
+    tlbm.caches().load(0, b.translate(0), 0,
+                       [&](Tick t) { done_tlb = t; });
+    tlbm.eq().run();
+    EXPECT_EQ(done_tlb - done_plain,
+              tlbm.caches().params().pageWalkLatency);
+}
+
+TEST(Tlb, StlbHitIsCheaperThanWalk)
+{
+    Machine m(Testbed::SingleSocketCxl, withTlb());
+    const auto &p = m.caches().params();
+    NumaBuffer buf = m.numa().alloc(
+        64 * miB, MemPolicy::membind(m.localNode()));
+    // Touch enough pages to overflow the 64-entry L1 TLB but not the
+    // 1536-entry STLB, then revisit the first page.
+    for (int pg = 0; pg < 512; ++pg) {
+        m.caches().load(0, buf.translate(std::uint64_t(pg) * pageBytes),
+                        m.eq().curTick(), nullptr);
+        m.eq().run();
+    }
+    const std::uint64_t walks = m.caches().tlbWalks();
+    m.caches().load(0, buf.translate(64), m.eq().curTick(), nullptr);
+    m.eq().run();
+    EXPECT_EQ(m.caches().tlbWalks(), walks); // no new walk
+    EXPECT_GT(m.caches().stlbHits(), 0u);
+    (void)p;
+}
+
+TEST(Tlb, PerCoreIsolation)
+{
+    Machine m(Testbed::SingleSocketCxl, withTlb());
+    NumaBuffer buf = m.numa().alloc(
+        1 * miB, MemPolicy::membind(m.localNode()));
+    m.caches().load(0, buf.translate(0), 0, nullptr);
+    m.eq().run();
+    EXPECT_EQ(m.caches().tlbWalks(), 1u);
+    // Core 1 has its own TLB: same page walks again.
+    m.caches().load(1, buf.translate(0), m.eq().curTick(), nullptr);
+    m.eq().run();
+    EXPECT_EQ(m.caches().tlbWalks(), 2u);
+}
+
+TEST(Tlb, SlowsSmallRandomBlocks)
+{
+    auto bandwidth = [](bool tlb) {
+        MachineOptions o;
+        o.tlbEnabled = tlb;
+        Machine m(Testbed::SingleSocketCxl, o);
+        NumaBuffer buf = m.numa().alloc(
+            256 * miB, MemPolicy::membind(m.localNode()));
+        auto t = m.makeThread(0);
+        t->start(std::make_unique<RandomBlockStream>(
+                     buf, 0, 256 * miB, std::uint64_t(1) << 40, 1 * kiB,
+                     MemOp::Kind::Load, false, 3),
+                 0, nullptr);
+        m.eq().runUntil(ticksFromUs(80.0));
+        return static_cast<double>(t->stats().bytesRead);
+    };
+    EXPECT_LT(bandwidth(true), bandwidth(false));
+}
+
+} // namespace
+} // namespace cxlmemo
