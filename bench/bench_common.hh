@@ -10,6 +10,8 @@
 #define CXLMEMO_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace cxlmemo
 {
@@ -28,6 +30,24 @@ inline void
 note(const char *text)
 {
     std::printf("-- %s\n", text);
+}
+
+/**
+ * Parse `--jobs N` / `-j N` from a figure binary's argv (default 1,
+ * 0 = one per hardware thread). The sweep output is identical for any
+ * value; jobs only changes wall-clock time.
+ */
+inline unsigned
+jobsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0
+            || std::strcmp(argv[i], "-j") == 0) {
+            return static_cast<unsigned>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+        }
+    }
+    return 1;
 }
 
 } // namespace bench

@@ -9,11 +9,12 @@
 
 #include "bench_common.hh"
 #include "memo/memo.hh"
+#include "sim/sweep.hh"
 
 using namespace cxlmemo;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Figure 3",
                   "Sequential access bandwidth (GB/s) vs thread count");
@@ -41,6 +42,23 @@ main()
         {MemOp::Kind::NtStore, "nt-store"},
     };
 
+    // Every (panel, instr, threads) point is an independent Machine;
+    // compute the whole grid through the sweep pool, then render in
+    // fixed order so the output is identical for any job count.
+    const std::size_t nInstrs = std::size(instrs);
+    const std::size_t nPoints =
+        std::size(panels) * nInstrs * threads.size();
+    SweepRunner pool(bench::jobsFromArgs(argc, argv));
+    const std::vector<double> grid =
+        pool.map(nPoints, [&](std::size_t i) {
+            const std::size_t t = i % threads.size();
+            const std::size_t in = (i / threads.size()) % nInstrs;
+            const std::size_t p = i / (threads.size() * nInstrs);
+            return memo::runSeqBandwidth(panels[p].target,
+                                         instrs[in].kind, threads[t]);
+        });
+
+    std::size_t idx = 0;
     for (const Panel &panel : panels) {
         std::printf("\n%s\n", panel.caption);
         std::printf("%-10s", "threads");
@@ -48,14 +66,11 @@ main()
             std::printf(" %6u", t);
         std::printf("\n");
         for (const Instr &in : instrs) {
-            std::vector<double> row;
-            row.reserve(threads.size());
-            for (std::uint32_t t : threads)
-                row.push_back(
-                    memo::runSeqBandwidth(panel.target, in.kind, t));
+            const double *row = &grid[idx];
+            idx += threads.size();
             std::printf("%-10s", in.name);
-            for (double bw : row)
-                std::printf(" %6.1f", bw);
+            for (std::size_t i = 0; i < threads.size(); ++i)
+                std::printf(" %6.1f", row[i]);
             std::printf("\n");
             for (std::size_t i = 0; i < threads.size(); ++i) {
                 std::printf("fig3,%s,%s,%u,%.1f\n",

@@ -11,11 +11,12 @@
 
 #include "bench_common.hh"
 #include "memo/memo.hh"
+#include "sim/sweep.hh"
 
 using namespace cxlmemo;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Figure 5",
                   "Random block access bandwidth (GB/s)");
@@ -40,8 +41,31 @@ main()
     opts.warmupUs = 20.0;
     opts.measureUs = 90.0;
 
-    for (auto target : {memo::Target::Ddr5Local, memo::Target::Cxl,
-                        memo::Target::Ddr5Remote}) {
+    const memo::Target targets[] = {memo::Target::Ddr5Local,
+                                    memo::Target::Cxl,
+                                    memo::Target::Ddr5Remote};
+
+    // Flatten the 3x3x5x6 grid into independent points and compute
+    // them through the sweep pool; printing afterward in fixed order
+    // keeps the output identical for any job count.
+    const std::size_t nInstrs = std::size(instrs);
+    const std::size_t nPoints = std::size(targets) * nInstrs
+                                * blocks.size() * threads.size();
+    SweepRunner pool(bench::jobsFromArgs(argc, argv));
+    const std::vector<double> grid =
+        pool.map(nPoints, [&](std::size_t i) {
+            const std::size_t t = i % threads.size();
+            const std::size_t b = (i / threads.size()) % blocks.size();
+            const std::size_t in =
+                (i / (threads.size() * blocks.size())) % nInstrs;
+            const std::size_t tg =
+                i / (threads.size() * blocks.size() * nInstrs);
+            return memo::runRandBandwidth(targets[tg], instrs[in].kind,
+                                          threads[t], blocks[b], opts);
+        });
+
+    std::size_t idx = 0;
+    for (auto target : targets) {
         for (const Instr &in : instrs) {
             std::printf("\n[%s / %s]\n", memo::targetName(target),
                         in.name);
@@ -50,13 +74,11 @@ main()
                 std::printf(" %6u", t);
             std::printf("\n");
             for (std::uint64_t b : blocks) {
-                std::vector<double> row;
-                for (std::uint32_t t : threads)
-                    row.push_back(memo::runRandBandwidth(
-                        target, in.kind, t, b, opts));
+                const double *row = &grid[idx];
+                idx += threads.size();
                 std::printf("%6lluKiB ", (unsigned long long)(b / kiB));
-                for (double bw : row)
-                    std::printf(" %6.1f", bw);
+                for (std::size_t i = 0; i < threads.size(); ++i)
+                    std::printf(" %6.1f", row[i]);
                 std::printf("\n");
                 for (std::size_t i = 0; i < threads.size(); ++i) {
                     std::printf("fig5,%s,%s,%llu,%u,%.1f\n",

@@ -9,6 +9,7 @@
  */
 
 #include <cstdio>
+#include <functional>
 
 #include "apps/dlrm/dlrm.hh"
 #include "apps/kvstore/kvstore.hh"

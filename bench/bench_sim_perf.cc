@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <memory>
 
 #include "cpu/streams.hh"
@@ -37,6 +38,144 @@ BM_EventQueueScheduleRun(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+/**
+ * Near-horizon scheduling: every event lands within the calendar
+ * wheel (delays far below the ~2 us horizon), the pattern of cache,
+ * DRAM and flit completions. Exercises the bucket append + lazy
+ * window sort fast path.
+ */
+void
+BM_EventQueueNearHorizon(benchmark::State &state)
+{
+    const int batch = static_cast<int>(state.range(0));
+    struct Chain
+    {
+        EventQueue &eq;
+        Rng &rng;
+        std::uint64_t &left;
+        int &sink;
+
+        void
+        fire()
+        {
+            ++sink;
+            if (left-- > 32)
+                eq.scheduleIn(1 + rng.below(256), [this] { fire(); });
+        }
+    };
+    for (auto _ : state) {
+        EventQueue eq;
+        Rng rng(11);
+        int sink = 0;
+        std::uint64_t left = batch;
+        // 32 self-rescheduling chains, each completion scheduling a
+        // successor 1-256 ticks out, like a memory request pipeline.
+        Chain chain{eq, rng, left, sink};
+        for (int i = 0; i < 32; ++i)
+            chain.fire();
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueNearHorizon)->Arg(65536);
+
+/**
+ * Far-horizon scheduling: delays beyond the wheel's coverage
+ * (measurement timers, think-time arrivals), so every event takes the
+ * spill min-heap path. The near/far ratio shows what the calendar
+ * tiers buy.
+ */
+void
+BM_EventQueueFarHorizon(benchmark::State &state)
+{
+    const int batch = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        EventQueue eq;
+        Rng rng(11);
+        int sink = 0;
+        for (int i = 0; i < batch; ++i) {
+            // ~4-8 us out: past the ~2.1 us wheel horizon.
+            eq.schedule(ticksFromUs(4) + rng.below(ticksFromUs(4)),
+                        [&sink] { ++sink; });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueFarHorizon)->Arg(65536);
+
+/** Dispatch cost of the engine's callback type vs std::function for
+ *  a capture that exceeds std::function's small-buffer size. */
+void
+BM_CallbackDispatchInline(benchmark::State &state)
+{
+    std::uint64_t a = 1, b = 2, c = 3, d = 4;
+    std::uint64_t sink = 0;
+    InlineCallback<void()> cb = [&sink, a, b, c, d] {
+        sink += a + b + c + d;
+    };
+    for (auto _ : state) {
+        cb();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CallbackDispatchInline);
+
+void
+BM_CallbackDispatchStdFunction(benchmark::State &state)
+{
+    std::uint64_t a = 1, b = 2, c = 3, d = 4;
+    std::uint64_t sink = 0;
+    std::function<void()> cb = [&sink, a, b, c, d] {
+        sink += a + b + c + d;
+    };
+    for (auto _ : state) {
+        cb();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CallbackDispatchStdFunction);
+
+/** Construct + move + destroy cost: the lifecycle every event pays
+ *  when a completion callback is handed down the memory hierarchy. */
+void
+BM_CallbackHandoffInline(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    std::uint64_t a = 1, b = 2, c = 3, d = 4;
+    for (auto _ : state) {
+        InlineCallback<void()> cb = [&sink, a, b, c, d] {
+            sink += a + b + c + d;
+        };
+        InlineCallback<void()> moved = std::move(cb);
+        moved();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CallbackHandoffInline);
+
+void
+BM_CallbackHandoffStdFunction(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    std::uint64_t a = 1, b = 2, c = 3, d = 4;
+    for (auto _ : state) {
+        std::function<void()> cb = [&sink, a, b, c, d] {
+            sink += a + b + c + d;
+        };
+        std::function<void()> moved = std::move(cb);
+        moved();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CallbackHandoffStdFunction);
 
 void
 BM_RngDraws(benchmark::State &state)

@@ -62,11 +62,12 @@ Stage::trySchedule()
         workers_[idx]->start(
             std::make_unique<ListStream>(std::move(ops)),
             machine_.eq().curTick(),
-            [this, idx, done = std::move(done)](Tick, Tick end) {
+            [this, idx, done = std::move(done)](Tick, Tick end) mutable {
                 ++completed_;
                 // The worker is occupied until its logical end (which
                 // may be ahead of global time after trailing compute).
-                machine_.eq().schedule(end, [this, idx, done, end] {
+                machine_.eq().schedule(end, [this, idx,
+                                             done = std::move(done), end] {
                     busy_[idx] = false;
                     if (done)
                         done(end);

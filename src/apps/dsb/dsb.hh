@@ -21,7 +21,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -85,7 +84,7 @@ struct DsbParams
 class Stage
 {
   public:
-    using Done = std::function<void(Tick end)>;
+    using Done = InlineCallback<void(Tick end)>;
 
     Stage(Machine &machine, std::string name, std::uint16_t firstCore,
           std::uint32_t workers);

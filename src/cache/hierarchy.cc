@@ -69,7 +69,8 @@ void
 CacheHierarchy::writebackLine(std::uint64_t la, std::uint16_t source,
                               Tick at, Done cb)
 {
-    eq_.schedule(std::max(at, eq_.curTick()), [this, la, source, cb] {
+    eq_.schedule(std::max(at, eq_.curTick()),
+                 [this, la, source, cb = std::move(cb)]() mutable {
         Addr local = 0;
         MemoryDevice &dev = numa_.route(paddrOfLine(la), local);
         MemRequest req;
@@ -78,7 +79,7 @@ CacheHierarchy::writebackLine(std::uint64_t la, std::uint16_t source,
         req.cmd = MemCmd::Write;
         req.source = source;
         if (cb)
-            req.onComplete = [cb](Tick t) { cb(t); };
+            req.onComplete = std::move(cb);
         dev.access(std::move(req));
     });
 }
@@ -143,7 +144,8 @@ CacheHierarchy::missToMemory(std::uint16_t core, std::uint64_t la,
         && numa_.node(nodeOfPaddr(paddrOfLine(la))).flushHandshake) {
         dispatch += params_.flushHandshakePenalty;
     }
-    eq_.schedule(dispatch, [this, core, la, rfo, cb = std::move(cb)] {
+    eq_.schedule(dispatch, [this, core, la, rfo,
+                            cb = std::move(cb)]() mutable {
         Addr local = 0;
         MemoryDevice &dev = numa_.route(paddrOfLine(la), local);
         MemRequest req;
@@ -151,7 +153,8 @@ CacheHierarchy::missToMemory(std::uint16_t core, std::uint64_t la,
         req.size = cachelineBytes;
         req.cmd = MemCmd::Read;
         req.source = core;
-        req.onComplete = [this, core, la, rfo, cb](Tick t) {
+        req.onComplete = [this, core, la, rfo,
+                          cb = std::move(cb)](Tick t) {
             fillLlc(core, la, LineState::Exclusive, t);
             fillL2(core, la, LineState::Exclusive, t);
             fillL1(core, la,
@@ -343,8 +346,9 @@ CacheHierarchy::ntStore(std::uint16_t core, Addr paddr, Tick at,
 
     const Tick dispatch =
         at + params_.ntDispatchLatency + params_.uncoreLatency;
-    eq_.schedule(dispatch, [this, core, la, onAccept = std::move(onAccept),
-                            onDrained = std::move(onDrained)] {
+    eq_.schedule(dispatch,
+                 [this, core, la, onAccept = std::move(onAccept),
+                  onDrained = std::move(onDrained)]() mutable {
         Addr local = 0;
         MemoryDevice &dev = numa_.route(paddrOfLine(la), local);
         MemRequest req;
@@ -365,7 +369,8 @@ CacheHierarchy::uncachedRead(std::uint16_t core, Addr paddr,
     at += tlbCharge(core, paddr);
     const Tick dispatch =
         at + params_.l1.latency + params_.uncoreLatency;
-    eq_.schedule(dispatch, [this, core, paddr, size, cb = std::move(cb)] {
+    eq_.schedule(dispatch, [this, core, paddr, size,
+                            cb = std::move(cb)]() mutable {
         Addr local = 0;
         MemoryDevice &dev = numa_.route(paddr, local);
         MemRequest req;
@@ -373,10 +378,8 @@ CacheHierarchy::uncachedRead(std::uint16_t core, Addr paddr,
         req.size = size;
         req.cmd = MemCmd::Read;
         req.source = core;
-        req.onComplete = [cb](Tick t) {
-            if (cb)
-                cb(t);
-        };
+        if (cb)
+            req.onComplete = std::move(cb);
         dev.access(std::move(req));
     });
 }

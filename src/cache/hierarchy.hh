@@ -20,7 +20,6 @@
 #define CXLMEMO_CACHE_HIERARCHY_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_set>
@@ -93,7 +92,7 @@ struct PrefetchStats
 class CacheHierarchy
 {
   public:
-    using Done = std::function<void(Tick)>;
+    using Done = InlineCallback<void(Tick)>;
 
     CacheHierarchy(EventQueue &eq, NumaSpace &numa, HierarchyParams params);
 

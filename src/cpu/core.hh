@@ -24,7 +24,6 @@
 #define CXLMEMO_CPU_CORE_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
 #include "cache/hierarchy.hh"
@@ -109,7 +108,7 @@ class HwThread
 {
   public:
     /** @param onFinish receives (startTick, endTick) of the stream. */
-    using FinishFn = std::function<void(Tick start, Tick end)>;
+    using FinishFn = InlineCallback<void(Tick start, Tick end)>;
 
     HwThread(CacheHierarchy &hierarchy, std::uint16_t core,
              CoreParams params);

@@ -13,7 +13,6 @@
 #ifndef CXLMEMO_CPU_STREAMS_HH
 #define CXLMEMO_CPU_STREAMS_HH
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -215,7 +214,9 @@ class PointerChaseStream : public AccessStream
 class FnStream : public AccessStream
 {
   public:
-    using Fn = std::function<bool(MemOp &)>;
+    /** Application op generators capture whole cursors (several
+     *  pointers and counters), so give them a wider inline budget. */
+    using Fn = InlineCallback<bool(MemOp &), 64>;
 
     explicit FnStream(Fn fn) : fn_(std::move(fn)) {}
 

@@ -40,15 +40,14 @@ CxlMemDevice::admitPosted(MemRequest req)
 {
     ++ntPosted_;
     if (req.onAccept) {
-        auto accept = std::move(req.onAccept);
         const Tick now = eq_.curTick();
-        eq_.schedule(now, [accept, now] { accept(now); });
+        eq_.schedule(now, [accept = std::move(req.onAccept),
+                           now] { accept(now); });
     }
     // The posted slot frees at the global-observability point (the
     // S2M NDR, i.e. controller acceptance), which is when onComplete
     // fires on the CXL write path.
-    auto drained = std::move(req.onComplete);
-    req.onComplete = [this, drained](Tick t) {
+    req.onComplete = [this, drained = std::move(req.onComplete)](Tick t) {
         CXLMEMO_ASSERT(ntPosted_ > 0, "posted underflow");
         --ntPosted_;
         if (!postedGate_.empty()) {
@@ -120,11 +119,11 @@ CxlMemDevice::admitRead(MemRequest req)
                 admitRead(std::move(waiting));
             }
             eq_.scheduleIn(params_.controllerEgress,
-                           [this, cb = std::move(cb)] {
+                           [this, cb = std::move(cb)]() mutable {
                 const Tick arrive = up_.transmit(params_.link.dataBytes);
                 if (cb)
-                    eq_.schedule(arrive,
-                                 [cb, arrive] { cb(arrive); });
+                    eq_.schedule(arrive, [cb = std::move(cb),
+                                          arrive] { cb(arrive); });
             });
         };
     backend_->access(std::move(backend_req));

@@ -82,7 +82,7 @@ struct StreamState
     std::uint32_t inFlight = 0;
     /** Issue loop; cleared at descriptor end to break the ownership
      *  cycle (state -> pump closure -> state). */
-    std::function<void()> pump;
+    InlineCallback<void()> pump;
 };
 
 } // namespace

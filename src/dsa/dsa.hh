@@ -22,7 +22,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "numa/numa.hh"
@@ -78,7 +77,7 @@ struct DsaDescriptor
 class Dsa
 {
   public:
-    using Done = std::function<void(Tick)>;
+    using Done = InlineCallback<void(Tick)>;
 
     Dsa(EventQueue &eq, NumaSpace &numa, DsaParams params);
 

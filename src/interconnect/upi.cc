@@ -48,7 +48,8 @@ UpiRemoteMemory::access(MemRequest req)
                 bytesUp_ += up_bytes;
                 const Tick arrive = transmit(upFreeAt_, up_bytes);
                 if (cb)
-                    eq_.schedule(arrive, [cb, arrive] { cb(arrive); });
+                    eq_.schedule(arrive, [cb = std::move(cb),
+                                          arrive] { cb(arrive); });
             };
         memory_->access(std::move(remote));
     });

@@ -66,13 +66,12 @@ DramChannel::admitNt(MemRequest req)
 {
     ++ntPosted_;
     if (req.onAccept) {
-        auto accept = std::move(req.onAccept);
         const Tick now = eq_.curTick();
-        eq_.schedule(now, [accept, now] { accept(now); });
+        eq_.schedule(now, [accept = std::move(req.onAccept),
+                           now] { accept(now); });
     }
     // Release the posted slot once the write drains to the array.
-    auto drained = std::move(req.onComplete);
-    req.onComplete = [this, drained](Tick t) {
+    req.onComplete = [this, drained = std::move(req.onComplete)](Tick t) {
         CXLMEMO_ASSERT(ntPosted_ > 0, "posted underflow");
         --ntPosted_;
         if (!ntGate_.empty()) {

@@ -9,9 +9,9 @@
 #define CXLMEMO_MEM_REQUEST_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
+#include "sim/callback.hh"
 #include "sim/types.hh"
 
 namespace cxlmemo
@@ -58,7 +58,12 @@ struct MemRequest
      *  arbiters in devices use it to round-robin across sources. */
     std::uint16_t source = 0;
 
-    std::function<void(Tick doneTick)> onComplete;
+    /** Completion callbacks are move-only InlineCallbacks: a request's
+     *  capture state (typically `this` + a continuation) stays inside
+     *  the request itself, so queuing a MemRequest allocates nothing. */
+    using Callback = InlineCallback<void(Tick)>;
+
+    Callback onComplete;
 
     /**
      * For NtWrite only: fires when the write is *posted* -- accepted
@@ -67,7 +72,7 @@ struct MemRequest
      * their latency), whereas onComplete is the global-observability
      * point an sfence must wait for.
      */
-    std::function<void(Tick acceptTick)> onAccept;
+    Callback onAccept;
 };
 
 /**

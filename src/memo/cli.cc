@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "sim/sweep.hh"
+
 namespace cxlmemo
 {
 namespace memo
@@ -165,7 +167,9 @@ cliUsage()
         "  --batch   N   DSA batch size              (default 1)\n"
         "  --prefetch    enable hardware prefetchers\n"
         "  --csv         machine-readable output\n"
-        "  --seed    N   workload RNG seed           (default 42)\n";
+        "  --seed    N   workload RNG seed           (default 42)\n"
+        "  --jobs/-j N   host threads for sweep points (default 1;\n"
+        "                0 = all cores; output identical for any N)\n";
 }
 
 std::optional<CliConfig>
@@ -302,6 +306,17 @@ parseCli(const std::vector<std::string> &args, std::string &error)
             }
             cfg.seed = *s;
             ++i;
+        } else if (a == "--jobs" || a == "-j") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            auto j = parseSize(*v);
+            if (!j || *j > 256) {
+                error = "bad jobs count: " + *v;
+                return std::nullopt;
+            }
+            cfg.jobs = static_cast<std::uint32_t>(*j);
+            ++i;
         } else if (a == "--prefetch") {
             cfg.prefetch = true;
         } else if (a == "--csv") {
@@ -365,46 +380,70 @@ runCli(const CliConfig &cfg)
       }
 
       case CliMode::Seq: {
+        SweepRunner pool(cfg.jobs);
+        const auto bws = pool.map(cfg.threads.size(), [&](std::size_t i) {
+            return runSeqBandwidth(cfg.target, cfg.op, cfg.threads[i],
+                                   opts);
+        });
         if (cfg.csv)
             std::printf("target,op,threads,gbps\n");
-        for (std::uint32_t t : cfg.threads) {
-            const double bw = runSeqBandwidth(cfg.target, cfg.op, t,
-                                              opts);
+        for (std::size_t i = 0; i < cfg.threads.size(); ++i) {
+            const std::uint32_t t = cfg.threads[i];
             if (cfg.csv)
                 std::printf("%s,%s,%u,%.2f\n", targetName(cfg.target),
-                            opName(cfg.op), t, bw);
+                            opName(cfg.op), t, bws[i]);
             else
                 std::printf("%s %s seq, %2u threads: %7.2f GB/s\n",
                             targetName(cfg.target), opName(cfg.op), t,
-                            bw);
+                            bws[i]);
         }
         return 0;
       }
 
       case CliMode::Rand: {
+        struct Point
+        {
+            std::uint64_t block;
+            std::uint32_t threads;
+        };
+        std::vector<Point> points;
+        for (std::uint64_t b : cfg.blockBytes)
+            for (std::uint32_t t : cfg.threads)
+                points.push_back({b, t});
+        SweepRunner pool(cfg.jobs);
+        const auto bws = pool.map(points.size(), [&](std::size_t i) {
+            return runRandBandwidth(cfg.target, cfg.op,
+                                    points[i].threads, points[i].block,
+                                    opts);
+        });
         if (cfg.csv)
             std::printf("target,op,block,threads,gbps\n");
-        for (std::uint64_t b : cfg.blockBytes) {
-            for (std::uint32_t t : cfg.threads) {
-                const double bw = runRandBandwidth(cfg.target, cfg.op,
-                                                   t, b, opts);
-                if (cfg.csv)
-                    std::printf("%s,%s,%llu,%u,%.2f\n",
-                                targetName(cfg.target), opName(cfg.op),
-                                (unsigned long long)b, t, bw);
-                else
-                    std::printf("%s %s rand %6lluB blocks, %2u "
-                                "threads: %7.2f GB/s\n",
-                                targetName(cfg.target), opName(cfg.op),
-                                (unsigned long long)b, t, bw);
-            }
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (cfg.csv)
+                std::printf("%s,%s,%llu,%u,%.2f\n",
+                            targetName(cfg.target), opName(cfg.op),
+                            (unsigned long long)points[i].block,
+                            points[i].threads, bws[i]);
+            else
+                std::printf("%s %s rand %6lluB blocks, %2u "
+                            "threads: %7.2f GB/s\n",
+                            targetName(cfg.target), opName(cfg.op),
+                            (unsigned long long)points[i].block,
+                            points[i].threads, bws[i]);
         }
         return 0;
       }
 
       case CliMode::Chase: {
-        const auto lat = runPtrChaseWssSweep(cfg.target, cfg.wssBytes,
-                                             opts);
+        // One machine per WSS point (single-element sweeps) so the
+        // decomposition -- and therefore the output -- is the same for
+        // every job count.
+        SweepRunner pool(cfg.jobs);
+        const auto lat = pool.map(cfg.wssBytes.size(),
+                                  [&](std::size_t i) {
+            return runPtrChaseWssSweep(cfg.target, {cfg.wssBytes[i]},
+                                       opts)[0];
+        });
         if (cfg.csv)
             std::printf("target,wss,ns\n");
         for (std::size_t i = 0; i < cfg.wssBytes.size(); ++i) {
@@ -436,17 +475,22 @@ runCli(const CliConfig &cfg)
       }
 
       case CliMode::Loaded: {
+        SweepRunner pool(cfg.jobs);
+        const auto lats = pool.map(cfg.threads.size(),
+                                   [&](std::size_t i) {
+            return runLoadedLatency(cfg.target, cfg.threads[i], opts);
+        });
         if (cfg.csv)
             std::printf("target,threads,ns\n");
-        for (std::uint32_t t : cfg.threads) {
-            const double ns = runLoadedLatency(cfg.target, t, opts);
+        for (std::size_t i = 0; i < cfg.threads.size(); ++i) {
+            const std::uint32_t t = cfg.threads[i];
             if (cfg.csv)
                 std::printf("%s,%u,%.1f\n", targetName(cfg.target), t,
-                            ns);
+                            lats[i]);
             else
                 std::printf("%s loaded latency, %2u threads: %7.1f "
                             "ns\n",
-                            targetName(cfg.target), t, ns);
+                            targetName(cfg.target), t, lats[i]);
         }
         return 0;
       }

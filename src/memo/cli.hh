@@ -59,6 +59,15 @@ struct CliConfig
     bool prefetch = false;
     bool csv = false;
     std::uint64_t seed = 42;
+
+    /**
+     * Host threads for sweep modes (seq/rand/chase/loaded): each sweep
+     * point simulates an independent Machine, so points run
+     * concurrently through SweepRunner. 0 means one per hardware
+     * thread. Output is identical for every value -- results are
+     * printed in sweep order, not completion order.
+     */
+    std::uint32_t jobs = 1;
 };
 
 /**

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for InlineCallback: inline vs heap storage selection,
+ * move semantics, lifetime of captured state, empty/rebind behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/callback.hh"
+
+namespace cxlmemo
+{
+namespace
+{
+
+TEST(InlineCallback, DefaultConstructedIsEmpty)
+{
+    InlineCallback<void()> cb;
+    EXPECT_FALSE(cb);
+    EXPECT_TRUE(cb == nullptr);
+    EXPECT_TRUE(cb.storedInline());
+}
+
+TEST(InlineCallback, NullptrConstructedIsEmpty)
+{
+    InlineCallback<int(int)> cb = nullptr;
+    EXPECT_FALSE(cb);
+}
+
+TEST(InlineCallback, InvokesWithArgumentsAndReturn)
+{
+    InlineCallback<int(int, int)> add = [](int a, int b) {
+        return a + b;
+    };
+    EXPECT_TRUE(add);
+    EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineCallback, SmallCaptureIsStoredInline)
+{
+    int x = 41;
+    InlineCallback<int()> cb = [x] { return x + 1; };
+    EXPECT_TRUE(cb.storedInline());
+    EXPECT_EQ(cb(), 42);
+}
+
+TEST(InlineCallback, CaptureAtExactlyInlineLimitIsInline)
+{
+    // 48 bytes of capture == the default inline capacity.
+    std::array<char, 48> blob{};
+    blob[0] = 7;
+    blob[47] = 9;
+    InlineCallback<int()> cb = [blob] { return blob[0] + blob[47]; };
+    static_assert(sizeof(blob) == InlineCallback<int()>::inlineBytes);
+    EXPECT_TRUE(cb.storedInline());
+    EXPECT_EQ(cb(), 16);
+}
+
+TEST(InlineCallback, OversizedCaptureFallsBackToHeap)
+{
+    std::array<char, 64> blob{};
+    blob[63] = 5;
+    InlineCallback<int()> cb = [blob] { return blob[63]; };
+    EXPECT_FALSE(cb.storedInline());
+    EXPECT_EQ(cb(), 5);
+}
+
+TEST(InlineCallback, CustomInlineCapacityIsHonored)
+{
+    std::array<char, 64> blob{};
+    blob[1] = 3;
+    InlineCallback<int(), 64> cb = [blob] { return blob[1]; };
+    EXPECT_TRUE(cb.storedInline());
+    EXPECT_EQ(cb(), 3);
+}
+
+TEST(InlineCallback, MoveTransfersOwnershipAndEmptiesSource)
+{
+    int calls = 0;
+    InlineCallback<void()> a = [&calls] { ++calls; };
+    InlineCallback<void()> b = std::move(a);
+    EXPECT_FALSE(a); // NOLINT: testing the moved-from contract
+    EXPECT_TRUE(b);
+    b();
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineCallback, MoveAssignReplacesExistingTarget)
+{
+    int first = 0;
+    int second = 0;
+    InlineCallback<void()> cb = [&first] { ++first; };
+    cb = [&second] { ++second; };
+    cb();
+    EXPECT_EQ(first, 0);
+    EXPECT_EQ(second, 1);
+}
+
+TEST(InlineCallback, MovePreservesNonTrivialCapturedState)
+{
+    // A vector capture is non-trivially-copyable: moving the wrapper
+    // must relocate (not bitwise-copy) the capture.
+    std::vector<int> data = {1, 2, 3, 4};
+    InlineCallback<int()> a = [data = std::move(data)] {
+        int sum = 0;
+        for (int v : data)
+            sum += v;
+        return sum;
+    };
+    InlineCallback<int()> b = std::move(a);
+    InlineCallback<int()> c;
+    c = std::move(b);
+    EXPECT_EQ(c(), 10);
+}
+
+TEST(InlineCallback, MoveOnlyCapturesAreSupported)
+{
+    auto p = std::make_unique<int>(99);
+    InlineCallback<int()> cb = [p = std::move(p)] { return *p; };
+    InlineCallback<int()> moved = std::move(cb);
+    EXPECT_EQ(moved(), 99);
+}
+
+TEST(InlineCallback, HeapStoredMoveStealsThePointer)
+{
+    std::array<char, 200> blob{};
+    blob[100] = 11;
+    InlineCallback<int()> a = [blob] { return blob[100]; };
+    ASSERT_FALSE(a.storedInline());
+    InlineCallback<int()> b = std::move(a);
+    EXPECT_FALSE(a); // NOLINT: testing the moved-from contract
+    EXPECT_EQ(b(), 11);
+}
+
+TEST(InlineCallback, DestructorReleasesCapturedResources)
+{
+    auto counter = std::make_shared<int>(0);
+    {
+        InlineCallback<void()> cb = [counter] { (void)counter; };
+        EXPECT_EQ(counter.use_count(), 2);
+    }
+    EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineCallback, ResetViaNullptrReleasesResources)
+{
+    auto counter = std::make_shared<int>(0);
+    InlineCallback<void()> cb = [counter] { (void)counter; };
+    EXPECT_EQ(counter.use_count(), 2);
+    cb = nullptr;
+    EXPECT_FALSE(cb);
+    EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineCallback, HeapCaptureDestructorReleasesResources)
+{
+    auto counter = std::make_shared<int>(0);
+    std::array<char, 128> pad{};
+    {
+        InlineCallback<void()> cb = [counter, pad] { (void)pad; };
+        ASSERT_FALSE(cb.storedInline());
+        EXPECT_EQ(counter.use_count(), 2);
+    }
+    EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineCallback, RebindAfterMoveOut)
+{
+    int calls = 0;
+    InlineCallback<void()> a = [&calls] { ++calls; };
+    InlineCallback<void()> b = std::move(a);
+    a = [&calls] { calls += 10; }; // moved-from object is reusable
+    a();
+    b();
+    EXPECT_EQ(calls, 11);
+}
+
+TEST(InlineCallback, SwapExchangesTargets)
+{
+    InlineCallback<int()> a = [] { return 1; };
+    InlineCallback<int()> b = [] { return 2; };
+    a.swap(b);
+    EXPECT_EQ(a(), 2);
+    EXPECT_EQ(b(), 1);
+}
+
+TEST(InlineCallback, ArgumentsArePerfectlyForwarded)
+{
+    InlineCallback<std::size_t(std::vector<int> &&)> cb =
+        [](std::vector<int> &&v) {
+            std::vector<int> taken = std::move(v);
+            return taken.size();
+        };
+    std::vector<int> v = {1, 2, 3};
+    EXPECT_EQ(cb(std::move(v)), 3u);
+}
+
+TEST(InlineCallback, FunctionPointersWork)
+{
+    InlineCallback<int(int)> cb = +[](int x) { return x * 2; };
+    EXPECT_TRUE(cb.storedInline());
+    EXPECT_EQ(cb(21), 42);
+}
+
+TEST(InlineCallbackDeathTest, InvokingEmptyAsserts)
+{
+    InlineCallback<void()> cb;
+    EXPECT_DEATH(cb(), "empty InlineCallback");
+}
+
+} // namespace
+} // namespace cxlmemo

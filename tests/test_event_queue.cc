@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/rng.hh"
 #include "sim/types.hh"
 
 namespace cxlmemo
@@ -122,6 +126,192 @@ TEST(EventQueue, CountsExecutedEvents)
         eq.schedule(i, [] {});
     eq.run();
     EXPECT_EQ(eq.eventsExecuted(), 7u);
+}
+
+// --- Calendar-queue structure tests: the wheel covers ~2 us in ~4 ns
+// windows; later events spill to a heap. These cross those seams.
+
+TEST(EventQueue, SameTickFifoAcrossManyWindows)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // Interleave two ticks that land in different wheel windows, then
+    // check each tick's callbacks run in scheduling order.
+    const Tick early = ticksFromNs(10);
+    const Tick late = ticksFromNs(500); // different window
+    for (int i = 0; i < 8; ++i) {
+        eq.schedule(late, [&order, i] { order.push_back(100 + i); });
+        eq.schedule(early, [&order, i] { order.push_back(i); });
+    }
+    eq.run();
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(order[i], i);
+        EXPECT_EQ(order[8 + i], 100 + i);
+    }
+}
+
+TEST(EventQueue, FarHorizonEventsRunInOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // Far beyond the ~2 us wheel horizon: these take the spill heap.
+    eq.schedule(ticksFromUs(50), [&] { order.push_back(2); });
+    eq.schedule(ticksFromUs(5), [&] { order.push_back(1); });
+    eq.schedule(ticksFromNs(3), [&] { order.push_back(0); });
+    eq.schedule(ticksFromUs(500), [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), ticksFromUs(500));
+}
+
+TEST(EventQueue, FarHorizonSameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(ticksFromUs(100), [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ReentrantSchedulingIntoCurrentWindow)
+{
+    // A callback scheduling zero/short-delay follow-ups lands in the
+    // window that is already sorted and executing; ordering must hold.
+    EventQueue eq;
+    std::vector<Tick> at;
+    eq.schedule(100, [&] {
+        eq.scheduleIn(0, [&] { at.push_back(eq.curTick()); });
+        eq.scheduleIn(1, [&] { at.push_back(eq.curTick()); });
+        eq.scheduleIn(7, [&] { at.push_back(eq.curTick()); });
+    });
+    eq.schedule(104, [&] { at.push_back(eq.curTick()); });
+    eq.run();
+    EXPECT_EQ(at, (std::vector<Tick>{100, 101, 104, 107}));
+}
+
+TEST(EventQueue, ZeroDelayChainsPreserveFifoWithPending)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100, [&] {
+        order.push_back(0);
+        eq.scheduleIn(0, [&] { order.push_back(2); });
+    });
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, RunUntilMidWindowThenResume)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // All three land in the same ~4 ns wheel window.
+    eq.schedule(1000, [&] { order.push_back(1); });
+    eq.schedule(1010, [&] { order.push_back(2); });
+    eq.schedule(1020, [&] { order.push_back(3); });
+    EXPECT_FALSE(eq.runUntil(1010));
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.pending(), 1u);
+    // New events may arrive between the runUntil calls.
+    eq.schedule(1015, [&] { order.push_back(9); });
+    EXPECT_TRUE(eq.runUntil(2000));
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 9, 3}));
+}
+
+TEST(EventQueue, WheelWrapsAcrossManyLaps)
+{
+    // March time forward over several wheel laps (each lap ~2 us) with
+    // a self-rescheduling event; window indices wrap modulo the wheel.
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> step = [&] {
+        if (++fired < 1000)
+            eq.scheduleIn(ticksFromNs(10), step);
+    };
+    eq.schedule(0, step);
+    eq.run();
+    EXPECT_EQ(fired, 1000);
+    EXPECT_EQ(eq.curTick(), 999 * ticksFromNs(10));
+}
+
+TEST(EventQueue, RandomizedOrderMatchesStableSortReference)
+{
+    // Property check: any mix of near/far/duplicate ticks executes in
+    // exactly stable-sort-by-tick order (i.e. (tick, seq)).
+    EventQueue eq;
+    Rng rng(1234);
+    const int n = 5000;
+    std::vector<std::pair<Tick, int>> ref; // (when, id)
+    std::vector<int> got;
+    for (int i = 0; i < n; ++i) {
+        // Bias toward the wheel, with a far tail and many collisions.
+        Tick when = rng.below(4) == 0 ? ticksFromUs(3 + rng.below(40))
+                                      : rng.below(2000) * 8;
+        ref.emplace_back(when, i);
+        eq.schedule(when, [&got, i] { got.push_back(i); });
+    }
+    eq.run();
+    std::stable_sort(ref.begin(), ref.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    ASSERT_EQ(got.size(), ref.size());
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(got[i], ref[i].second) << "at position " << i;
+    EXPECT_EQ(eq.eventsExecuted(), static_cast<std::uint64_t>(n));
+}
+
+TEST(EventQueue, RandomizedInterleavedRunUntil)
+{
+    // Same property, but consumed through stuttering runUntil windows
+    // with fresh events injected between them.
+    EventQueue eq;
+    Rng rng(99);
+    std::vector<std::pair<Tick, int>> ref;
+    std::vector<int> got;
+    int id = 0;
+    Tick limit = 0;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 100; ++i) {
+            const Tick when = eq.curTick() + rng.below(ticksFromUs(3));
+            ref.emplace_back(when, id);
+            eq.schedule(when, [&got, id] { got.push_back(id); });
+            ++id;
+        }
+        limit += ticksFromNs(700 + rng.below(900));
+        eq.runUntil(limit);
+    }
+    eq.run();
+    std::stable_sort(ref.begin(), ref.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(got[i], ref[i].second) << "at position " << i;
+}
+
+TEST(EventQueue, ResetAfterPartialRunRestartsClean)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (int i = 0; i < 100; ++i)
+        eq.schedule(i * 100, [&] { ++fired; });
+    eq.schedule(ticksFromUs(10), [&] { ++fired; }); // far heap
+    eq.runUntil(500);
+    eq.reset();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.curTick(), 0u);
+    // The queue must be fully reusable, including same-tick FIFO.
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(0); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
 }
 
 TEST(EventQueueDeathTest, SchedulingIntoThePastPanics)

@@ -79,6 +79,37 @@ TEST(MemoCli, FullSeqInvocation)
     EXPECT_TRUE(cfg->csv);
 }
 
+TEST(MemoCli, JobsDefaultsToOne)
+{
+    auto cfg = parse({"--mode", "seq", "--target", "cxl"});
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->jobs, 1u);
+}
+
+TEST(MemoCli, JobsFlagParses)
+{
+    auto cfg = parse({"--mode", "seq", "--target", "cxl", "--jobs",
+                      "8"});
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->jobs, 8u);
+
+    cfg = parse({"--mode", "chase", "--target", "cxl", "--wss", "16K",
+                 "-j", "0"});
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->jobs, 0u); // 0 = one per hardware thread
+}
+
+TEST(MemoCli, JobsFlagRejectsGarbage)
+{
+    std::string err;
+    std::vector<std::string> v = {"--mode", "seq", "--jobs", "lots"};
+    EXPECT_FALSE(parseCli(v, err).has_value());
+    EXPECT_NE(err.find("jobs"), std::string::npos);
+
+    v = {"--mode", "seq", "--jobs", "9999"};
+    EXPECT_FALSE(parseCli(v, err).has_value());
+}
+
 TEST(MemoCli, CopyInvocation)
 {
     auto cfg = parse({"--mode", "copy", "--path", "c2d", "--method",
