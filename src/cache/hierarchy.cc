@@ -125,7 +125,9 @@ CacheHierarchy::fillLlc(std::uint16_t core, std::uint64_t la, LineState st,
     auto victim = llc_->insert(la, st, core);
     if (!victim)
         return;
-    // Inclusive LLC: evicting here removes the line machine-wide.
+    // Inclusive LLC: evicting here removes the line machine-wide --
+    // including any poison the line carried.
+    clearPoison(victim->lineAddr);
     const std::uint16_t owner = victim->owner;
     const LineState l1st = l1_[owner].invalidate(victim->lineAddr);
     const LineState l2st = l2_[owner].invalidate(victim->lineAddr);
@@ -155,10 +157,22 @@ CacheHierarchy::missToMemory(std::uint16_t core, std::uint64_t la,
         req.source = core;
         req.onComplete = [this, core, la, rfo,
                           cb = std::move(cb)](Tick t) {
+            // The memory device arms poison on the response just
+            // before this callback runs; absorbing it here makes the
+            // cached copy a tracked poisoned line, and this delivery
+            // a poisoned one for the requesting thread.
+            const bool poisoned = faults_ && faults_->consumePoison();
+            if (poisoned) {
+                poisonedLines_.insert(la);
+                rasStats_.poisonedFills++;
+                faults_->stats().poisonConsumed++;
+            }
             fillLlc(core, la, LineState::Exclusive, t);
             fillL2(core, la, LineState::Exclusive, t);
             fillL1(core, la,
                    rfo ? LineState::Modified : LineState::Exclusive, t);
+            if (poisoned)
+                deliveryPoisoned_ = true;
             if (cb)
                 cb(t);
         };
@@ -228,6 +242,13 @@ CacheHierarchy::observeForPrefetch(std::uint16_t core, std::uint64_t la,
             req.source = core;
             req.onComplete = [this, core, target](Tick t) {
                 prefetchInFlight_.erase(target);
+                // A prefetch fill absorbs poison like a demand fill;
+                // a later demand hit surfaces it to the consumer.
+                if (faults_ && faults_->consumePoison()) {
+                    poisonedLines_.insert(target);
+                    rasStats_.poisonedFills++;
+                    faults_->stats().poisonConsumed++;
+                }
                 fillLlc(core, target, LineState::Exclusive, t);
                 fillL2(core, target, LineState::Exclusive, t, true);
             };
@@ -247,6 +268,7 @@ CacheHierarchy::load(std::uint16_t core, Addr paddr, Tick at, Done cb)
     Tick lat = params_.l1.latency;
     if (l1.find(la)) {
         l1.stats().hits++;
+        notePoisonHit(la);
         return at + lat;
     }
     l1.stats().misses++;
@@ -263,6 +285,7 @@ CacheHierarchy::load(std::uint16_t core, Addr paddr, Tick at, Done cb)
                line->state == LineState::Modified ? LineState::Modified
                                                   : LineState::Exclusive,
                at + lat);
+        notePoisonHit(la);
         return at + lat;
     }
     l2.stats().misses++;
@@ -277,6 +300,7 @@ CacheHierarchy::load(std::uint16_t core, Addr paddr, Tick at, Done cb)
                                  : LineState::Exclusive;
         fillL2(core, la, st, at + lat);
         fillL1(core, la, st, at + lat);
+        notePoisonHit(la);
         return at + lat;
     }
     llc_->stats().misses++;
@@ -339,10 +363,11 @@ CacheHierarchy::ntStore(std::uint16_t core, Addr paddr, Tick at,
     at += tlbCharge(core, paddr);
     const std::uint64_t la = lineOf(paddr);
     // A full-line NT store overwrites the line: cached copies are
-    // dropped without writeback.
+    // dropped without writeback, and fresh data scrubs any poison.
     l1_[core].invalidate(la);
     l2_[core].invalidate(la);
     llc_->invalidate(la);
+    clearPoison(la);
 
     const Tick dispatch =
         at + params_.ntDispatchLatency + params_.uncoreLatency;
@@ -389,6 +414,7 @@ CacheHierarchy::flush(std::uint16_t core, Addr paddr, Tick at, Done cb)
 {
     const std::uint64_t la = lineOf(paddr);
     recentlyFlushed_.insert(la);
+    clearPoison(la);
     const LineState s1 = l1_[core].invalidate(la);
     const LineState s2 = l2_[core].invalidate(la);
     const LineState sl = llc_->invalidate(la);
@@ -459,6 +485,8 @@ CacheHierarchy::flushAllCaches()
             s.valid = false;
     prefetchInFlight_.clear();
     recentlyFlushed_.clear();
+    poisonedLines_.clear();
+    deliveryPoisoned_ = false;
 }
 
 } // namespace cxlmemo

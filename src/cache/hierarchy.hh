@@ -28,6 +28,7 @@
 #include "cache/cache.hh"
 #include "numa/numa.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 
 namespace cxlmemo
 {
@@ -76,6 +77,13 @@ struct PrefetchStats
 {
     std::uint64_t issued = 0;
     std::uint64_t usefulHits = 0;
+};
+
+/** Poison bookkeeping of the hierarchy (faults enabled only). */
+struct HierarchyRasStats
+{
+    std::uint64_t poisonedFills = 0; //!< poisoned lines installed
+    std::uint64_t poisonedHits = 0;  //!< hits that served poisoned data
 };
 
 /**
@@ -156,6 +164,33 @@ class CacheHierarchy
     NumaSpace &numa() { return numa_; }
     EventQueue &eventQueue() { return eq_; }
 
+    /** Wire up fault injection (poison tracking); nullptr disables. */
+    void setFaultInjector(FaultInjector *f) { faults_ = f; }
+
+    /**
+     * Poison status of the most recent data delivery (a load hit on a
+     * poisoned line, or a fill from a poisoned memory read). The
+     * consumer (HwThread) takes it immediately after the hierarchy
+     * returns / invokes the completion callback; taking clears it.
+     * Completion chains run synchronously within one event, so the
+     * flag cannot be interleaved by another access.
+     */
+    bool
+    takeDeliveryPoison()
+    {
+        const bool p = deliveryPoisoned_;
+        deliveryPoisoned_ = false;
+        return p;
+    }
+
+    const HierarchyRasStats &rasStats() const { return rasStats_; }
+
+    /** Poisoned lines currently cached (tests / monitoring). */
+    std::size_t poisonedLinesCached() const
+    {
+        return poisonedLines_.size();
+    }
+
   private:
     struct Stream
     {
@@ -186,6 +221,24 @@ class CacheHierarchy
      *  hit); updates the per-core TLB state. */
     Tick tlbCharge(std::uint16_t core, Addr paddr);
 
+    /** Mark the current delivery poisoned if @p la carries poison. */
+    void
+    notePoisonHit(std::uint64_t la)
+    {
+        if (poisonedLines_.empty() || poisonedLines_.count(la) == 0)
+            return;
+        rasStats_.poisonedHits++;
+        deliveryPoisoned_ = true;
+    }
+
+    /** Drop poison tracking for @p la (evicted / overwritten). */
+    void
+    clearPoison(std::uint64_t la)
+    {
+        if (!poisonedLines_.empty())
+            poisonedLines_.erase(la);
+    }
+
     EventQueue &eq_;
     NumaSpace &numa_;
     HierarchyParams params_;
@@ -206,6 +259,12 @@ class CacheHierarchy
     std::unordered_set<std::uint64_t> recentlyFlushed_;
     PrefetchStats pfStats_;
     std::uint64_t streamClock_ = 0;
+
+    FaultInjector *faults_ = nullptr;
+    /** Cached lines whose data carries poison from a faulty read. */
+    std::unordered_set<std::uint64_t> poisonedLines_;
+    bool deliveryPoisoned_ = false;
+    HierarchyRasStats rasStats_;
 };
 
 } // namespace cxlmemo

@@ -114,11 +114,15 @@ HwThread::tryIssue()
                                    [this](Tick t) {
                 CXLMEMO_ASSERT(outstandingLoads_ > 0, "load underflow");
                 --outstandingLoads_;
+                if (hier_.takeDeliveryPoison())
+                    stats_.poisonedLoads++;
                 lastCompletion_ = std::max(lastCompletion_, t);
                 lastValueReady_ = std::max(lastValueReady_, t);
                 tryIssue();
             });
             if (done) {
+                if (hier_.takeDeliveryPoison())
+                    stats_.poisonedLoads++;
                 lastCompletion_ = std::max(lastCompletion_, *done);
                 lastValueReady_ = std::max(lastValueReady_, *done);
                 if (dependent)

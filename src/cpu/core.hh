@@ -98,6 +98,12 @@ struct ThreadStats
     /** Bytes moved by loads+uncached reads / stores+NT stores. */
     std::uint64_t bytesRead = 0;
     std::uint64_t bytesWritten = 0;
+
+    /** Loads whose data carried the poison indication (RAS model).
+     *  On real hardware each of these would raise MCE/SIGBUS; the
+     *  simulated workload keeps running but the event is never
+     *  silent. */
+    std::uint64_t poisonedLoads = 0;
 };
 
 /**

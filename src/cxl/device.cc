@@ -1,5 +1,6 @@
 #include "cxl/device.hh"
 
+#include <stdexcept>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -7,18 +8,35 @@
 namespace cxlmemo
 {
 
-CxlMemDevice::CxlMemDevice(EventQueue &eq, CxlDeviceParams params)
+void
+CxlDeviceParams::validate() const
+{
+    link.validate();
+    backend.validate();
+    if (readQueueEntries == 0)
+        throw std::invalid_argument("CxlDeviceParams: no read trackers");
+    if (writeBufferEntries == 0)
+        throw std::invalid_argument("CxlDeviceParams: no write buffer");
+    if (hostPostedEntries == 0)
+        throw std::invalid_argument(
+            "CxlDeviceParams: no host posted entries");
+    if (backendChannels == 0)
+        throw std::invalid_argument(
+            "CxlDeviceParams: no backend channels");
+}
+
+CxlMemDevice::CxlMemDevice(EventQueue &eq, CxlDeviceParams params,
+                           FaultInjector *faults)
     : eq_(eq),
       params_(std::move(params)),
-      down_(eq, params_.link),
-      up_(eq, params_.link)
+      faults_(faults),
+      down_(eq, params_.link, faults),
+      up_(eq, params_.link, faults)
 {
-    CXLMEMO_ASSERT(params_.readQueueEntries > 0, "no read trackers");
-    CXLMEMO_ASSERT(params_.writeBufferEntries > 0, "no write buffer");
-    CXLMEMO_ASSERT(params_.backendChannels > 0, "no backend channels");
+    params_.validate();
     backend_ = std::make_unique<InterleavedMemory>(
         eq, params_.name + ".mem", params_.backend,
-        params_.backendChannels);
+        params_.backendChannels, /*interleaveBytes=*/256, faults_);
 }
 
 void
@@ -64,9 +82,39 @@ CxlMemDevice::admitPosted(MemRequest req)
 void
 CxlMemDevice::dispatch(MemRequest req)
 {
+    dispatchAttempt(std::move(req), 0);
+}
+
+void
+CxlMemDevice::dispatchAttempt(MemRequest req, std::uint32_t attempt)
+{
     const bool write = isWrite(req.cmd);
     const std::uint32_t cost =
         write ? params_.link.dataBytes : params_.link.headerBytes;
+
+    if (faults_) {
+        const FaultSpec &fs = faults_->spec();
+        if (attempt < fs.maxHostRetries && faults_->requestTimedOut()) {
+            // The attempt goes out on the wire but the controller never
+            // answers: the host burns the link capacity, waits out its
+            // completion timer, backs off exponentially and reissues.
+            down_.transmit(cost);
+            RasStats &rs = faults_->stats();
+            rs.timeouts++;
+            rs.hostRetries++;
+            const Tick backoff =
+                std::min<Tick>(fs.backoffBase << attempt,
+                               fs.backoffBase * 16);
+            const Tick delay = fs.requestTimeout + backoff;
+            rs.backoffTicks += delay;
+            eq_.scheduleIn(delay,
+                           [this, attempt, r = std::move(req)]() mutable {
+                dispatchAttempt(std::move(r), attempt + 1);
+            });
+            return;
+        }
+    }
+
     const Tick delivered = down_.transmit(cost);
     const Tick at_controller = delivered + params_.controllerIngress;
     eq_.schedule(at_controller, [this, write, r = std::move(req)]() mutable {
@@ -118,12 +166,30 @@ CxlMemDevice::admitRead(MemRequest req)
                 ctrlStats_.readStallTicks += eq_.curTick() - since;
                 admitRead(std::move(waiting));
             }
+            // The DRAM array may hand back a poisoned line; the DRS
+            // flit carries the poison bit to the consumer (no timing
+            // change, but the delivery must never be silent).
+            const bool poisoned = faults_ && faults_->poisonRead();
+            if (poisoned)
+                faults_->stats().poisonInjected++;
             eq_.scheduleIn(params_.controllerEgress,
-                           [this, cb = std::move(cb)]() mutable {
+                           [this, poisoned,
+                            cb = std::move(cb)]() mutable {
                 const Tick arrive = up_.transmit(params_.link.dataBytes);
-                if (cb)
-                    eq_.schedule(arrive, [cb = std::move(cb),
-                                          arrive] { cb(arrive); });
+                if (cb || poisoned) {
+                    eq_.schedule(arrive, [this, poisoned,
+                                          cb = std::move(cb),
+                                          arrive]() mutable {
+                        if (poisoned)
+                            faults_->armPoison();
+                        if (cb)
+                            cb(arrive);
+                        // Anything not absorbed by the cache hierarchy
+                        // reached a non-caching consumer.
+                        if (poisoned && faults_->consumePoison())
+                            faults_->stats().poisonDelivered++;
+                    });
+                }
             });
         };
     backend_->access(std::move(backend_req));
@@ -158,7 +224,18 @@ CxlMemDevice::admitWrite(MemRequest req)
             admitWrite(std::move(waiting));
         }
     };
-    backend_->access(std::move(drain));
+    if (faults_ && faults_->drainStall()) {
+        // Stuck/slow-drain episode: the buffered line sits in the
+        // controller before draining, holding its entry (and thus
+        // backpressure) for the episode length.
+        faults_->stats().drainStalls++;
+        eq_.scheduleIn(faults_->spec().drainStallTicks,
+                       [this, d = std::move(drain)]() mutable {
+            backend_->access(std::move(d));
+        });
+    } else {
+        backend_->access(std::move(drain));
+    }
 }
 
 void
@@ -167,7 +244,7 @@ CxlMemDevice::resetStats()
     backend_->resetStats();
     down_.resetStats();
     up_.resetStats();
-    ctrlStats_ = CxlControllerStats{};
+    ctrlStats_.reset();
 }
 
 } // namespace cxlmemo

@@ -66,6 +66,10 @@ struct CxlDeviceParams
      *  with more channels and DRAM-class bandwidth). */
     std::uint32_t backendChannels = 1;
     DramChannelParams backend;
+
+    /** Throws std::invalid_argument on out-of-range values (link and
+     *  backend params included). */
+    void validate() const;
 };
 
 /** Occupancy / stall statistics of the CXL controller. */
@@ -76,6 +80,9 @@ struct CxlControllerStats
     std::uint64_t readsStalled = 0;
     std::uint64_t writesStalled = 0;
     std::uint32_t writeBufferHighWater = 0;
+
+    /** Clear all counters (between sweep points reusing a device). */
+    void reset() { *this = CxlControllerStats{}; }
 };
 
 /**
@@ -133,7 +140,9 @@ class FairWaitQueue
 class CxlMemDevice : public MemoryDevice
 {
   public:
-    CxlMemDevice(EventQueue &eq, CxlDeviceParams params);
+    /** @param faults optional fault injector (nullptr = healthy). */
+    CxlMemDevice(EventQueue &eq, CxlDeviceParams params,
+                 FaultInjector *faults = nullptr);
 
     void access(MemRequest req) override;
     const std::string &name() const override { return params_.name; }
@@ -143,6 +152,10 @@ class CxlMemDevice : public MemoryDevice
     const CxlControllerStats &controllerStats() const { return ctrlStats_; }
     std::uint64_t bytesDown() const { return down_.bytesMoved(); }
     std::uint64_t bytesUp() const { return up_.bytesMoved(); }
+
+    /** RAS degradation state of each link direction (0 = full rate). */
+    std::uint32_t downDegradeLevel() const { return down_.degradeLevel(); }
+    std::uint32_t upDegradeLevel() const { return up_.degradeLevel(); }
 
     /** Occupancy gauges (monitoring / tests). */
     std::uint32_t readsInFlight() const { return readsInFlight_; }
@@ -165,9 +178,13 @@ class CxlMemDevice : public MemoryDevice
     void admitPosted(MemRequest req);
     /** Transmit a request over the M2S link toward the controller. */
     void dispatch(MemRequest req);
+    /** One host issue attempt: may time out and reissue with
+     *  exponential backoff (bounded by maxHostRetries). */
+    void dispatchAttempt(MemRequest req, std::uint32_t attempt);
 
     EventQueue &eq_;
     CxlDeviceParams params_;
+    FaultInjector *faults_ = nullptr;
     CxlLinkDirection down_; //!< M2S: requests and write data
     CxlLinkDirection up_;   //!< S2M: read data and completions
     std::unique_ptr<InterleavedMemory> backend_;

@@ -9,15 +9,27 @@
  * write completion) costs a fraction of a flit: with four header
  * slots per 68 B flit that is 17 B. A data-carrying message costs a
  * full data flit plus a header slot.
+ *
+ * Reliability: each flit carries a CRC. When fault injection is
+ * enabled, a receive-side CRC failure runs the CXL link-level retry
+ * (LLR) handshake -- the receiver naks, the transmitter replays the
+ * outstanding window from its finite retry buffer -- modelled as a
+ * fixed retry-processing delay, a round trip of propagation, and the
+ * serialization of the replayed flits (which also burns link
+ * capacity). A sustained error burst optionally degrades the link
+ * (halving rawGBps, the width/speed downgrade real links negotiate),
+ * at most twice.
  */
 
 #ifndef CXLMEMO_CXL_LINK_HH
 #define CXLMEMO_CXL_LINK_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 #include "sim/types.hh"
 
 namespace cxlmemo
@@ -43,6 +55,33 @@ struct CxlLinkParams
     /** Link-capacity cost of a message carrying one 64 B cacheline
      *  (a full data flit plus a header slot). */
     std::uint32_t dataBytes = 85;
+
+    /** LLR retry-buffer depth: flits replayed per nak round. */
+    std::uint32_t retryBufferFlits = 8;
+
+    /** Receiver nak handling + transmitter replay setup time. */
+    Tick retryProcessing = ticksFromNs(20.0);
+
+    /** Throws std::invalid_argument on out-of-range values. */
+    void
+    validate() const
+    {
+        if (!(rawGBps > 0.0))
+            throw std::invalid_argument(
+                "CxlLinkParams: rawGBps must be positive");
+        if (!(flitEfficiency > 0.0 && flitEfficiency <= 1.0))
+            throw std::invalid_argument(
+                "CxlLinkParams: flitEfficiency must be in (0,1]");
+        if (headerBytes == 0)
+            throw std::invalid_argument(
+                "CxlLinkParams: headerBytes must be nonzero");
+        if (dataBytes == 0)
+            throw std::invalid_argument(
+                "CxlLinkParams: dataBytes must be nonzero");
+        if (retryBufferFlits == 0)
+            throw std::invalid_argument(
+                "CxlLinkParams: retry buffer needs at least one flit");
+    }
 };
 
 /**
@@ -53,9 +92,15 @@ struct CxlLinkParams
 class CxlLinkDirection
 {
   public:
-    CxlLinkDirection(EventQueue &eq, const CxlLinkParams &params)
-        : eq_(eq), params_(params)
-    {}
+    /** Physical-layer flit size (64 B payload + CRC + protocol ID). */
+    static constexpr std::uint32_t flitBytes = 68;
+
+    CxlLinkDirection(EventQueue &eq, const CxlLinkParams &params,
+                     FaultInjector *faults = nullptr)
+        : eq_(eq), params_(params), faults_(faults)
+    {
+        params_.validate();
+    }
 
     /**
      * Transmit @p bytes of link capacity starting no earlier than now;
@@ -66,21 +111,88 @@ class CxlLinkDirection
     {
         const Tick now = eq_.curTick();
         const Tick start = std::max(now, freeAt_);
-        const double eff = params_.rawGBps * params_.flitEfficiency;
-        const Tick done = start + serializationTicks(bytes, eff);
-        freeAt_ = done;
+        const double eff = effectiveRawGBps() * params_.flitEfficiency;
+        Tick done = start + serializationTicks(bytes, eff);
         bytesMoved_ += bytes;
+        if (faults_)
+            done = retryAfterCrc(done, bytes, eff);
+        freeAt_ = done;
         return done + params_.propagation;
     }
 
     std::uint64_t bytesMoved() const { return bytesMoved_; }
     void resetStats() { bytesMoved_ = 0; }
 
+    /** Raw rate after degradation (width/speed downgrade). */
+    double
+    effectiveRawGBps() const
+    {
+        return params_.rawGBps
+               / static_cast<double>(1u << degradeLevel_);
+    }
+
+    std::uint32_t degradeLevel() const { return degradeLevel_; }
+
   private:
+    /** One LLR round is bounded; a flit that keeps failing past this
+     *  many replays is delivered anyway (real links would retrain). */
+    static constexpr std::uint32_t maxLlrRounds = 64;
+
+    /**
+     * Receive-side CRC check per flit of the message; each failure
+     * runs one ack/nak replay round and pushes delivery out.
+     */
+    Tick
+    retryAfterCrc(Tick done, std::uint32_t bytes, double eff)
+    {
+        const std::uint32_t flits = (bytes + flitBytes - 1) / flitBytes;
+        RasStats &rs = faults_->stats();
+        for (std::uint32_t f = 0; f < flits; ++f) {
+            std::uint32_t rounds = 0;
+            while (rounds < maxLlrRounds && faults_->flitCrcError()) {
+                ++rounds;
+                rs.crcErrors++;
+                rs.linkRetries++;
+                const std::uint64_t replay =
+                    std::uint64_t(params_.retryBufferFlits) * flitBytes;
+                rs.flitsReplayed += params_.retryBufferFlits;
+                rs.replayBytes += replay;
+                bytesMoved_ += replay;
+                // nak processing + request/replay round trip + the
+                // replayed window re-serialized at the current rate.
+                const Tick penalty = params_.retryProcessing
+                                     + 2 * params_.propagation
+                                     + serializationTicks(replay, eff);
+                rs.retryTicks += penalty;
+                done += penalty;
+                noteError(rs);
+            }
+        }
+        return done;
+    }
+
+    /** Degradation policy: every degradeBurst CRC errors downgrade
+     *  the link once (halving rawGBps), at most twice. */
+    void
+    noteError(RasStats &rs)
+    {
+        const std::uint32_t burst = faults_->spec().degradeBurst;
+        if (burst == 0 || degradeLevel_ >= 2)
+            return;
+        if (++errorsSinceDegrade_ >= burst) {
+            ++degradeLevel_;
+            errorsSinceDegrade_ = 0;
+            rs.linkDegradations++;
+        }
+    }
+
     EventQueue &eq_;
     CxlLinkParams params_;
+    FaultInjector *faults_ = nullptr;
     Tick freeAt_ = 0;
     std::uint64_t bytesMoved_ = 0;
+    std::uint32_t degradeLevel_ = 0;
+    std::uint32_t errorsSinceDegrade_ = 0;
 };
 
 } // namespace cxlmemo

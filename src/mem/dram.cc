@@ -1,5 +1,6 @@
 #include "mem/dram.hh"
 
+#include <stdexcept>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -7,16 +8,45 @@
 namespace cxlmemo
 {
 
-DramChannel::DramChannel(EventQueue &eq, DramChannelParams params)
-    : eq_(eq), params_(std::move(params)), banks_(params_.numBanks)
+void
+DramChannelParams::validate() const
 {
-    CXLMEMO_ASSERT(params_.numBanks > 0, "channel with no banks");
-    CXLMEMO_ASSERT(params_.peakGBps > 0.0, "channel with no bandwidth");
-    CXLMEMO_ASSERT(params_.rowBytes >= cachelineBytes, "row too small");
-    CXLMEMO_ASSERT(params_.bankStripeBytes >= cachelineBytes,
-                   "stripe below line size");
-    CXLMEMO_ASSERT(params_.rowBytes % params_.bankStripeBytes == 0,
-                   "row must hold whole stripes");
+    if (numBanks == 0)
+        throw std::invalid_argument(
+            "DramChannelParams: channel with no banks");
+    if (!(peakGBps > 0.0))
+        throw std::invalid_argument(
+            "DramChannelParams: channel with no bandwidth");
+    if (!(busEfficiency > 0.0 && busEfficiency <= 1.0))
+        throw std::invalid_argument(
+            "DramChannelParams: busEfficiency must be in (0,1]");
+    if (!(writeEfficiency > 0.0 && writeEfficiency <= 1.0))
+        throw std::invalid_argument(
+            "DramChannelParams: writeEfficiency must be in (0,1]");
+    if (rowBytes < cachelineBytes)
+        throw std::invalid_argument("DramChannelParams: row too small");
+    if (bankStripeBytes < cachelineBytes)
+        throw std::invalid_argument(
+            "DramChannelParams: stripe below line size");
+    if (rowBytes % bankStripeBytes != 0)
+        throw std::invalid_argument(
+            "DramChannelParams: row must hold whole stripes");
+    if (scanDepth == 0 || maxHitRun == 0 || maxDirectionRun == 0)
+        throw std::invalid_argument(
+            "DramChannelParams: scheduler depths must be nonzero");
+    if (ntPostedEntries == 0)
+        throw std::invalid_argument(
+            "DramChannelParams: zero-entry posted-write queue");
+}
+
+DramChannel::DramChannel(EventQueue &eq, DramChannelParams params,
+                         FaultInjector *faults)
+    : eq_(eq),
+      params_(std::move(params)),
+      faults_(faults),
+      banks_(params_.numBanks)
+{
+    params_.validate();
 }
 
 std::uint64_t
@@ -50,6 +80,24 @@ void
 DramChannel::access(MemRequest req)
 {
     CXLMEMO_ASSERT(req.size > 0, "zero-size access");
+    // Transient channel stall (refresh storm, thermal throttle,
+    // ECC-scrub collision): the request is held at the controller
+    // front end for the episode before being admitted. Drawn at most
+    // once per request -- accessAdmit bypasses the check.
+    if (faults_ && faults_->dramStall()) {
+        faults_->stats().dramStalls++;
+        eq_.scheduleIn(faults_->spec().dramStallTicks,
+                       [this, r = std::move(req)]() mutable {
+            accessAdmit(std::move(r));
+        });
+        return;
+    }
+    accessAdmit(std::move(req));
+}
+
+void
+DramChannel::accessAdmit(MemRequest req)
+{
     if (req.cmd == MemCmd::NtWrite) {
         if (ntPosted_ < params_.ntPostedEntries) {
             admitNt(std::move(req));
@@ -225,17 +273,23 @@ DramChannel::kickBus()
 InterleavedMemory::InterleavedMemory(EventQueue &eq, const std::string &name,
                                      const DramChannelParams &channelParams,
                                      std::uint32_t numChannels,
-                                     std::uint64_t interleaveBytes)
+                                     std::uint64_t interleaveBytes,
+                                     FaultInjector *faults)
     : name_(name), interleaveBytes_(interleaveBytes)
 {
-    CXLMEMO_ASSERT(numChannels > 0, "memory node with no channels");
-    CXLMEMO_ASSERT(interleaveBytes >= cachelineBytes,
-                   "interleave below line size splits transactions");
+    if (numChannels == 0)
+        throw std::invalid_argument(
+            "InterleavedMemory: memory node with no channels");
+    if (interleaveBytes < cachelineBytes)
+        throw std::invalid_argument(
+            "InterleavedMemory: interleave below line size splits "
+            "transactions");
     channels_.reserve(numChannels);
     for (std::uint32_t i = 0; i < numChannels; ++i) {
         DramChannelParams p = channelParams;
         p.name = name + ".ch" + std::to_string(i);
-        channels_.push_back(std::make_unique<DramChannel>(eq, std::move(p)));
+        channels_.push_back(
+            std::make_unique<DramChannel>(eq, std::move(p), faults));
     }
 }
 

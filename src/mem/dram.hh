@@ -31,6 +31,7 @@
 
 #include "mem/request.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 #include "sim/types.hh"
 
 namespace cxlmemo
@@ -105,6 +106,9 @@ struct DramChannelParams
      *  considering a direction switch (iMC read/write mode with
      *  drain watermarks; switching pays tTurnaround). */
     std::uint32_t maxDirectionRun = 16;
+
+    /** Throws std::invalid_argument on out-of-range values. */
+    void validate() const;
 };
 
 /**
@@ -120,7 +124,9 @@ struct DramChannelParams
 class DramChannel : public MemoryDevice
 {
   public:
-    DramChannel(EventQueue &eq, DramChannelParams params);
+    /** @param faults optional fault injector (nullptr = healthy). */
+    DramChannel(EventQueue &eq, DramChannelParams params,
+                FaultInjector *faults = nullptr);
 
     void access(MemRequest req) override;
     const std::string &name() const override { return params_.name; }
@@ -145,6 +151,8 @@ class DramChannel : public MemoryDevice
     std::uint32_t bankOf(Addr addr) const;
     Tick busTime(std::uint32_t size, bool write) const;
 
+    /** Continue an access past the fault-injection check. */
+    void accessAdmit(MemRequest req);
     /** Admit an NT write past the posted gate. */
     void admitNt(MemRequest req);
     /** Enqueue into the owning bank and kick the scheduler. */
@@ -160,6 +168,7 @@ class DramChannel : public MemoryDevice
 
     EventQueue &eq_;
     DramChannelParams params_;
+    FaultInjector *faults_ = nullptr;
     std::vector<Bank> banks_;
     std::deque<MemRequest> busReadQueue_;  //!< ready, awaiting the bus
     std::deque<MemRequest> busWriteQueue_;
@@ -184,11 +193,13 @@ class InterleavedMemory : public MemoryDevice
     /**
      * @param interleaveBytes channel-interleave granularity
      *        (SPR interleaves at 256 B across iMC channels)
+     * @param faults optional fault injector shared by all channels
      */
     InterleavedMemory(EventQueue &eq, const std::string &name,
                       const DramChannelParams &channelParams,
                       std::uint32_t numChannels,
-                      std::uint64_t interleaveBytes = 256);
+                      std::uint64_t interleaveBytes = 256,
+                      FaultInjector *faults = nullptr);
 
     void access(MemRequest req) override;
     const std::string &name() const override { return name_; }

@@ -5,6 +5,8 @@
 
 #include "cpu/streams.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
 
 namespace cxlmemo
 {
@@ -74,30 +76,45 @@ maybePrimeForStores(Machine &m, MemOp::Kind kind, const MemPolicy &policy)
     m.caches().primeLlcDirty(prime, 0);
 }
 
+void
+exportRas(const Machine &m, RasStats *rasOut)
+{
+    if (!rasOut)
+        return;
+    if (const RasStats *rs = m.rasStats())
+        *rasOut = *rs;
+    else
+        rasOut->reset();
+}
+
 } // namespace
 
 double
 runSeqBandwidth(Target target, MemOp::Kind kind, std::uint32_t threads,
-                const Options &opts)
+                const Options &opts, RasStats *rasOut)
 {
-    auto m = makeMachine(target, opts.prefetch);
+    auto m = makeMachine(target, opts.prefetch, opts.faults);
     const MemPolicy policy = MemPolicy::membind(targetNode(*m, target));
     NumaBuffer buf =
         m->numa().alloc(std::uint64_t(threads) * regionBytes, policy);
     maybePrimeForStores(*m, kind, policy);
 
-    return windowedBandwidth(*m, threads, opts, [&](std::uint32_t t) {
-        return std::make_unique<SequentialStream>(
-            buf, std::uint64_t(t) * regionBytes, regionBytes,
-            endlessBytes, kind);
-    });
+    const double gbps =
+        windowedBandwidth(*m, threads, opts, [&](std::uint32_t t) {
+            return std::make_unique<SequentialStream>(
+                buf, std::uint64_t(t) * regionBytes, regionBytes,
+                endlessBytes, kind);
+        });
+    exportRas(*m, rasOut);
+    return gbps;
 }
 
 double
 runRandBandwidth(Target target, MemOp::Kind kind, std::uint32_t threads,
-                 std::uint64_t blockBytes, const Options &opts)
+                 std::uint64_t blockBytes, const Options &opts,
+                 RasStats *rasOut)
 {
-    auto m = makeMachine(target, opts.prefetch);
+    auto m = makeMachine(target, opts.prefetch, opts.faults);
     const MemPolicy policy = MemPolicy::membind(targetNode(*m, target));
     NumaBuffer buf =
         m->numa().alloc(std::uint64_t(threads) * regionBytes, policy);
@@ -106,20 +123,23 @@ runRandBandwidth(Target target, MemOp::Kind kind, std::uint32_t threads,
     // MEMO issues an sfence after each NT-store block to enforce
     // block-level write order (Sec. 4.3.2).
     const bool fence = kind == MemOp::Kind::NtStore;
-    return windowedBandwidth(*m, threads, opts, [&](std::uint32_t t) {
-        return std::make_unique<RandomBlockStream>(
-            buf, std::uint64_t(t) * regionBytes, regionBytes,
-            endlessBytes, blockBytes, kind, fence,
-            opts.seed + 1000 + t);
-    });
+    const double gbps =
+        windowedBandwidth(*m, threads, opts, [&](std::uint32_t t) {
+            return std::make_unique<RandomBlockStream>(
+                buf, std::uint64_t(t) * regionBytes, regionBytes,
+                endlessBytes, blockBytes, kind, fence,
+                opts.seed + 1000 + t);
+        });
+    exportRas(*m, rasOut);
+    return gbps;
 }
 
 double
 runLoadedLatency(Target target, std::uint32_t threads,
-                 const Options &opts)
+                 const Options &opts, RasStats *rasOut)
 {
     CXLMEMO_ASSERT(threads >= 1, "need at least the probe thread");
-    auto m = makeMachine(target, opts.prefetch);
+    auto m = makeMachine(target, opts.prefetch, opts.faults);
     const MemPolicy policy = MemPolicy::membind(targetNode(*m, target));
     NumaBuffer probe_buf = m->numa().alloc(regionBytes, policy);
     NumaBuffer bg_buf = m->numa().alloc(
@@ -158,7 +178,75 @@ runLoadedLatency(Target target, std::uint32_t threads,
         if (m->eq().runUntil(horizon) && !done)
             CXLMEMO_PANIC("probe starved: event queue drained");
     }
+    exportRas(*m, rasOut);
     return nsFromTicks(end - start) / static_cast<double>(probe_accesses);
+}
+
+LoadedLatencyDist
+runLoadedLatencyDist(Target target, std::uint32_t threads,
+                     const Options &opts)
+{
+    CXLMEMO_ASSERT(threads >= 1, "need at least the probe thread");
+    auto m = makeMachine(target, opts.prefetch, opts.faults);
+    const MemPolicy policy = MemPolicy::membind(targetNode(*m, target));
+    NumaBuffer probe_buf = m->numa().alloc(regionBytes, policy);
+    NumaBuffer bg_buf = m->numa().alloc(
+        std::uint64_t(std::max(threads, 2u) - 1) * regionBytes, policy);
+
+    std::vector<std::unique_ptr<HwThread>> pool;
+    for (std::uint32_t t = 0; t + 1 < threads; ++t) {
+        pool.push_back(m->makeThread(static_cast<std::uint16_t>(t)));
+        pool.back()->start(
+            std::make_unique<SequentialStream>(
+                bg_buf, std::uint64_t(t) * regionBytes, regionBytes,
+                endlessBytes, MemOp::Kind::Load),
+            0, nullptr);
+    }
+    m->eq().runUntil(ticksFromUs(opts.warmupUs));
+
+    // Serial dependent loads at random lines, timed per window: a
+    // recovery episode (link retry, timeout+backoff, stall) lands in
+    // one window and shows up as tail latency instead of averaging
+    // away over the whole run.
+    constexpr int windows = 200;
+    constexpr int opsPerWindow = 64;
+    const std::uint64_t lines = regionBytes / cachelineBytes;
+    Rng addr_rng(opts.seed + 0x715a); // distinct from workload streams
+    SampleSeries window_ns;
+    const auto core = static_cast<std::uint16_t>(threads - 1);
+    for (int w = 0; w < windows; ++w) {
+        std::vector<MemOp> ops;
+        ops.reserve(opsPerWindow);
+        for (int i = 0; i < opsPerWindow; ++i) {
+            const Addr a = probe_buf.translate(addr_rng.below(lines)
+                                               * cachelineBytes);
+            ops.push_back({MemOp::Kind::DependentLoad, a, 0});
+        }
+        auto probe_thread = m->makeThread(core);
+        Tick start = 0;
+        Tick end = 0;
+        bool done = false;
+        probe_thread->start(std::make_unique<ListStream>(std::move(ops)),
+                            m->eq().curTick(), [&](Tick s, Tick e) {
+            start = s;
+            end = e;
+            done = true;
+        });
+        while (!done) {
+            const Tick horizon = m->eq().curTick() + ticksFromUs(50.0);
+            if (m->eq().runUntil(horizon) && !done)
+                CXLMEMO_PANIC("probe starved: event queue drained");
+        }
+        window_ns.record(nsFromTicks(end - start) / opsPerWindow);
+    }
+
+    LoadedLatencyDist dist;
+    dist.avgNs = window_ns.mean();
+    dist.p50Ns = window_ns.p50();
+    dist.p99Ns = window_ns.p99();
+    if (const RasStats *rs = m->rasStats())
+        dist.ras = *rs;
+    return dist;
 }
 
 } // namespace memo

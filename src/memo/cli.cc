@@ -1,6 +1,7 @@
 #include "memo/cli.hh"
 
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 #include "sim/sweep.hh"
@@ -103,12 +104,19 @@ parseSize(const std::string &text)
     }
     if (digits.empty())
         return std::nullopt;
+    constexpr std::uint64_t maxVal =
+        std::numeric_limits<std::uint64_t>::max();
     std::uint64_t value = 0;
     for (char c : digits) {
         if (c < '0' || c > '9')
             return std::nullopt;
-        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+        const auto digit = static_cast<std::uint64_t>(c - '0');
+        if (value > (maxVal - digit) / 10)
+            return std::nullopt; // overflow
+        value = value * 10 + digit;
     }
+    if (mult > 1 && value > maxVal / mult)
+        return std::nullopt; // overflow
     return value * mult;
 }
 
@@ -169,7 +177,12 @@ cliUsage()
         "  --csv         machine-readable output\n"
         "  --seed    N   workload RNG seed           (default 42)\n"
         "  --jobs/-j N   host threads for sweep points (default 1;\n"
-        "                0 = all cores; output identical for any N)\n";
+        "                0 = all cores; output identical for any N)\n"
+        "  --fault-spec  key=value[,...] RAS fault injection:\n"
+        "                crc= poison= timeout= drain= dram= (rates in\n"
+        "                [0,1]), stall-ns= timeout-ns= backoff-ns=\n"
+        "                retries= degrade= seed=\n"
+        "                e.g. --fault-spec crc=1e-4,poison=1e-6\n";
 }
 
 std::optional<CliConfig>
@@ -249,6 +262,14 @@ parseCli(const std::vector<std::string> &args, std::string &error)
                 error = "bad block spec: " + *v;
                 return std::nullopt;
             }
+            for (std::uint64_t b : *list) {
+                if (b < cachelineBytes || b % cachelineBytes != 0
+                    || b > 64 * miB) {
+                    error = "block size must be a multiple of 64 in "
+                            "[64, 64M]: " + *v;
+                    return std::nullopt;
+                }
+            }
             cfg.blockBytes = *list;
             ++i;
         } else if (a == "--wss") {
@@ -259,6 +280,16 @@ parseCli(const std::vector<std::string> &args, std::string &error)
             if (!list) {
                 error = "bad wss spec: " + *v;
                 return std::nullopt;
+            }
+            for (std::uint64_t w : *list) {
+                // The pointer chase needs at least two lines; huge
+                // sets would just swamp the simulated capacity.
+                if (w < 2 * cachelineBytes || w % cachelineBytes != 0
+                    || w > 8 * giB) {
+                    error = "wss must be a multiple of 64 in "
+                            "[128, 8G]: " + *v;
+                    return std::nullopt;
+                }
             }
             cfg.wssBytes = *list;
             ++i;
@@ -289,8 +320,8 @@ parseCli(const std::vector<std::string> &args, std::string &error)
             if (!v)
                 return std::nullopt;
             auto b = parseSize(*v);
-            if (!b || *b == 0) {
-                error = "bad batch: " + *v;
+            if (!b || *b == 0 || *b > 1024) {
+                error = "bad batch (1..1024): " + *v;
                 return std::nullopt;
             }
             cfg.batch = static_cast<std::uint32_t>(*b);
@@ -316,6 +347,18 @@ parseCli(const std::vector<std::string> &args, std::string &error)
                 return std::nullopt;
             }
             cfg.jobs = static_cast<std::uint32_t>(*j);
+            ++i;
+        } else if (a == "--fault-spec") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            std::string ferr;
+            auto fs = FaultSpec::parse(*v, ferr);
+            if (!fs) {
+                error = ferr;
+                return std::nullopt;
+            }
+            cfg.faults = *fs;
             ++i;
         } else if (a == "--prefetch") {
             cfg.prefetch = true;
@@ -351,12 +394,51 @@ opName(MemOp::Kind k)
     }
 }
 
+/** One sweep-point result plus its machine's RAS counters. */
+struct PointResult
+{
+    double value = 0.0;
+    RasStats ras;
+};
+
+void
+printRasCsvHeader()
+{
+    std::printf(",crc_errors,link_retries,timeouts,host_retries,"
+                "drain_stalls,dram_stalls,poison_injected,"
+                "poison_consumed,poison_delivered,degradations");
+}
+
+void
+printRasCsvCells(const RasStats &rs)
+{
+    std::printf(",%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu",
+                (unsigned long long)rs.crcErrors,
+                (unsigned long long)rs.linkRetries,
+                (unsigned long long)rs.timeouts,
+                (unsigned long long)rs.hostRetries,
+                (unsigned long long)rs.drainStalls,
+                (unsigned long long)rs.dramStalls,
+                (unsigned long long)rs.poisonInjected,
+                (unsigned long long)rs.poisonConsumed,
+                (unsigned long long)rs.poisonDelivered,
+                (unsigned long long)rs.linkDegradations);
+}
+
+void
+printRasLine(const RasStats &rs)
+{
+    std::printf("  ras: %s\n", rs.summary().c_str());
+}
+
 int
 runCli(const CliConfig &cfg)
 {
     Options opts;
     opts.prefetch = cfg.prefetch;
     opts.seed = cfg.seed;
+    opts.faults = cfg.faults;
+    const bool ras = cfg.faults.enabled();
 
     switch (cfg.mode) {
       case CliMode::Help:
@@ -364,17 +446,26 @@ runCli(const CliConfig &cfg)
         return 0;
 
       case CliMode::Latency: {
-        const LatencyResult r = runLatency(cfg.target, opts);
+        RasStats rs;
+        const LatencyResult r = runLatency(cfg.target, opts, &rs);
         if (cfg.csv) {
-            std::printf("target,ld,st+wb,nt-st,ptr-chase\n");
-            std::printf("%s,%.1f,%.1f,%.1f,%.1f\n",
+            std::printf("target,ld,st+wb,nt-st,ptr-chase");
+            if (ras)
+                printRasCsvHeader();
+            std::printf("\n");
+            std::printf("%s,%.1f,%.1f,%.1f,%.1f",
                         targetName(cfg.target), r.loadNs, r.storeWbNs,
                         r.ntStoreNs, r.ptrChaseNs);
+            if (ras)
+                printRasCsvCells(rs);
+            std::printf("\n");
         } else {
             std::printf("%s latency (ns): ld %.1f  st+wb %.1f  "
                         "nt-st %.1f  ptr-chase %.1f\n",
                         targetName(cfg.target), r.loadNs, r.storeWbNs,
                         r.ntStoreNs, r.ptrChaseNs);
+            if (ras)
+                printRasLine(rs);
         }
         return 0;
       }
@@ -382,20 +473,32 @@ runCli(const CliConfig &cfg)
       case CliMode::Seq: {
         SweepRunner pool(cfg.jobs);
         const auto bws = pool.map(cfg.threads.size(), [&](std::size_t i) {
-            return runSeqBandwidth(cfg.target, cfg.op, cfg.threads[i],
-                                   opts);
+            PointResult p;
+            p.value = runSeqBandwidth(cfg.target, cfg.op,
+                                      cfg.threads[i], opts, &p.ras);
+            return p;
         });
-        if (cfg.csv)
-            std::printf("target,op,threads,gbps\n");
+        if (cfg.csv) {
+            std::printf("target,op,threads,gbps");
+            if (ras)
+                printRasCsvHeader();
+            std::printf("\n");
+        }
         for (std::size_t i = 0; i < cfg.threads.size(); ++i) {
             const std::uint32_t t = cfg.threads[i];
-            if (cfg.csv)
-                std::printf("%s,%s,%u,%.2f\n", targetName(cfg.target),
-                            opName(cfg.op), t, bws[i]);
-            else
+            if (cfg.csv) {
+                std::printf("%s,%s,%u,%.2f", targetName(cfg.target),
+                            opName(cfg.op), t, bws[i].value);
+                if (ras)
+                    printRasCsvCells(bws[i].ras);
+                std::printf("\n");
+            } else {
                 std::printf("%s %s seq, %2u threads: %7.2f GB/s\n",
                             targetName(cfg.target), opName(cfg.op), t,
-                            bws[i]);
+                            bws[i].value);
+                if (ras)
+                    printRasLine(bws[i].ras);
+            }
         }
         return 0;
       }
@@ -412,24 +515,36 @@ runCli(const CliConfig &cfg)
                 points.push_back({b, t});
         SweepRunner pool(cfg.jobs);
         const auto bws = pool.map(points.size(), [&](std::size_t i) {
-            return runRandBandwidth(cfg.target, cfg.op,
-                                    points[i].threads, points[i].block,
-                                    opts);
+            PointResult p;
+            p.value = runRandBandwidth(cfg.target, cfg.op,
+                                       points[i].threads,
+                                       points[i].block, opts, &p.ras);
+            return p;
         });
-        if (cfg.csv)
-            std::printf("target,op,block,threads,gbps\n");
+        if (cfg.csv) {
+            std::printf("target,op,block,threads,gbps");
+            if (ras)
+                printRasCsvHeader();
+            std::printf("\n");
+        }
         for (std::size_t i = 0; i < points.size(); ++i) {
-            if (cfg.csv)
-                std::printf("%s,%s,%llu,%u,%.2f\n",
+            if (cfg.csv) {
+                std::printf("%s,%s,%llu,%u,%.2f",
                             targetName(cfg.target), opName(cfg.op),
                             (unsigned long long)points[i].block,
-                            points[i].threads, bws[i]);
-            else
+                            points[i].threads, bws[i].value);
+                if (ras)
+                    printRasCsvCells(bws[i].ras);
+                std::printf("\n");
+            } else {
                 std::printf("%s %s rand %6lluB blocks, %2u "
                             "threads: %7.2f GB/s\n",
                             targetName(cfg.target), opName(cfg.op),
                             (unsigned long long)points[i].block,
-                            points[i].threads, bws[i]);
+                            points[i].threads, bws[i].value);
+                if (ras)
+                    printRasLine(bws[i].ras);
+            }
         }
         return 0;
       }
@@ -441,21 +556,33 @@ runCli(const CliConfig &cfg)
         SweepRunner pool(cfg.jobs);
         const auto lat = pool.map(cfg.wssBytes.size(),
                                   [&](std::size_t i) {
-            return runPtrChaseWssSweep(cfg.target, {cfg.wssBytes[i]},
-                                       opts)[0];
+            PointResult p;
+            p.value = runPtrChaseWssSweep(cfg.target, {cfg.wssBytes[i]},
+                                          opts, &p.ras)[0];
+            return p;
         });
-        if (cfg.csv)
-            std::printf("target,wss,ns\n");
+        if (cfg.csv) {
+            std::printf("target,wss,ns");
+            if (ras)
+                printRasCsvHeader();
+            std::printf("\n");
+        }
         for (std::size_t i = 0; i < cfg.wssBytes.size(); ++i) {
-            if (cfg.csv)
-                std::printf("%s,%llu,%.1f\n", targetName(cfg.target),
+            if (cfg.csv) {
+                std::printf("%s,%llu,%.1f", targetName(cfg.target),
                             (unsigned long long)cfg.wssBytes[i],
-                            lat[i]);
-            else
+                            lat[i].value);
+                if (ras)
+                    printRasCsvCells(lat[i].ras);
+                std::printf("\n");
+            } else {
                 std::printf("%s chase wss %10llu B: %7.1f ns\n",
                             targetName(cfg.target),
                             (unsigned long long)cfg.wssBytes[i],
-                            lat[i]);
+                            lat[i].value);
+                if (ras)
+                    printRasLine(lat[i].ras);
+            }
         }
         return 0;
       }
@@ -476,6 +603,39 @@ runCli(const CliConfig &cfg)
 
       case CliMode::Loaded: {
         SweepRunner pool(cfg.jobs);
+        if (ras) {
+            // Under fault injection the interesting signal is the
+            // *tail*: report the windowed distribution instead of one
+            // long-run average.
+            const auto dists = pool.map(cfg.threads.size(),
+                                        [&](std::size_t i) {
+                return runLoadedLatencyDist(cfg.target, cfg.threads[i],
+                                            opts);
+            });
+            if (cfg.csv) {
+                std::printf("target,threads,avg_ns,p50_ns,p99_ns");
+                printRasCsvHeader();
+                std::printf("\n");
+            }
+            for (std::size_t i = 0; i < cfg.threads.size(); ++i) {
+                const std::uint32_t t = cfg.threads[i];
+                const LoadedLatencyDist &d = dists[i];
+                if (cfg.csv) {
+                    std::printf("%s,%u,%.1f,%.1f,%.1f",
+                                targetName(cfg.target), t, d.avgNs,
+                                d.p50Ns, d.p99Ns);
+                    printRasCsvCells(d.ras);
+                    std::printf("\n");
+                } else {
+                    std::printf("%s loaded latency, %2u threads: "
+                                "avg %7.1f  p50 %7.1f  p99 %7.1f ns\n",
+                                targetName(cfg.target), t, d.avgNs,
+                                d.p50Ns, d.p99Ns);
+                    printRasLine(d.ras);
+                }
+            }
+            return 0;
+        }
         const auto lats = pool.map(cfg.threads.size(),
                                    [&](std::size_t i) {
             return runLoadedLatency(cfg.target, cfg.threads[i], opts);
@@ -507,8 +667,9 @@ memoCliMain(int argc, char **argv)
     std::string error;
     const auto cfg = parseCli(args, error);
     if (!cfg) {
-        std::fprintf(stderr, "memo: %s\n\n%s", error.c_str(),
-                     cliUsage().c_str());
+        // One line, stderr, nonzero exit: scripts and CI can grep it
+        // without wading through the usage text.
+        std::fprintf(stderr, "memo: %s (try --help)\n", error.c_str());
         return 2;
     }
     return runCli(*cfg);

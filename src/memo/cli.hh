@@ -59,6 +59,8 @@ struct CliConfig
     bool prefetch = false;
     bool csv = false;
     std::uint64_t seed = 42;
+    /** RAS fault injection (`--fault-spec`); disabled by default. */
+    FaultSpec faults;
 
     /**
      * Host threads for sweep modes (seq/rand/chase/loaded): each sweep

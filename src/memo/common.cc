@@ -22,10 +22,11 @@ targetName(Target t)
 }
 
 std::unique_ptr<Machine>
-makeMachine(Target target, bool prefetch)
+makeMachine(Target target, bool prefetch, const FaultSpec &faults)
 {
     MachineOptions opts;
     opts.prefetchEnabled = prefetch;
+    opts.faults = faults;
     const Testbed tb = target == Target::Ddr5Remote
                            ? Testbed::DualSocket
                            : Testbed::SingleSocketCxl;

@@ -96,10 +96,10 @@ chaseAverageNs(Machine &m, const NumaBuffer &buf, std::uint64_t wss,
 } // namespace
 
 LatencyResult
-runLatency(Target target, const Options &opts)
+runLatency(Target target, const Options &opts, RasStats *rasOut)
 {
     // The paper disables prefetching at all levels for latency tests.
-    auto m = makeMachine(target, /*prefetch=*/false);
+    auto m = makeMachine(target, /*prefetch=*/false, opts.faults);
     const MemPolicy policy = MemPolicy::membind(targetNode(*m, target));
     const std::uint64_t chase_space = 512 * miB;
     NumaBuffer buf = m->numa().alloc(chase_space, policy);
@@ -114,15 +114,21 @@ runLatency(Target target, const Options &opts)
     m->caches().flushAllCaches();
     res.ptrChaseNs = chaseAverageNs(*m, buf, chase_space, opts.seed,
                                     /*warmup=*/false);
+    if (rasOut) {
+        if (const RasStats *rs = m->rasStats())
+            *rasOut = *rs;
+        else
+            rasOut->reset();
+    }
     return res;
 }
 
 std::vector<double>
 runPtrChaseWssSweep(Target target,
                     const std::vector<std::uint64_t> &wssBytes,
-                    const Options &opts)
+                    const Options &opts, RasStats *rasOut)
 {
-    auto m = makeMachine(target, /*prefetch=*/false);
+    auto m = makeMachine(target, /*prefetch=*/false, opts.faults);
     const MemPolicy policy = MemPolicy::membind(targetNode(*m, target));
     std::uint64_t max_wss = 0;
     for (std::uint64_t w : wssBytes)
@@ -133,13 +139,22 @@ runPtrChaseWssSweep(Target target,
     const std::uint64_t llc = m->caches().params().llc.sizeBytes;
     std::vector<double> out;
     out.reserve(wssBytes.size());
+    RasStats ras_total;
     for (std::uint64_t wss : wssBytes) {
         m->caches().flushAllCaches();
+        // The machine is shared across sweep points: clear device and
+        // controller counters so each point reports its own traffic
+        // (stall counts and high-water marks otherwise accumulate).
+        m->resetStats();
         // Warm the set when it could plausibly be cache-resident;
         // beyond 2x LLC the warm-up cannot survive and is skipped.
         const bool warm = wss <= 2 * llc;
         out.push_back(chaseAverageNs(*m, buf, wss, opts.seed, warm));
+        if (const RasStats *rs = m->rasStats())
+            ras_total.merge(*rs);
     }
+    if (rasOut)
+        *rasOut = ras_total;
     return out;
 }
 

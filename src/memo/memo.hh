@@ -49,6 +49,9 @@ struct Options
     std::uint64_t seed = 42;   //!< workload RNG seed
     double warmupUs = 30.0;    //!< pipeline warm-up before measuring
     double measureUs = 150.0;  //!< measurement window
+    /** RAS fault model for the machine under test (default: none,
+     *  bit-identical to the fault-free simulator). */
+    FaultSpec faults;
 };
 
 /** Results of the instruction-latency probes (Fig. 2, bars). */
@@ -64,7 +67,8 @@ struct LatencyResult
  * Run the Fig. 2 latency probes against @p target.
  * Prefetching is disabled regardless of @p opts (as in the paper).
  */
-LatencyResult runLatency(Target target, const Options &opts = {});
+LatencyResult runLatency(Target target, const Options &opts = {},
+                         RasStats *rasOut = nullptr);
 
 /**
  * Average pointer-chase latency for each working-set size, after a
@@ -74,14 +78,18 @@ LatencyResult runLatency(Target target, const Options &opts = {});
 std::vector<double> runPtrChaseWssSweep(Target target,
                                         const std::vector<std::uint64_t>
                                             &wssBytes,
-                                        const Options &opts = {});
+                                        const Options &opts = {},
+                                        RasStats *rasOut = nullptr);
 
 /**
  * Aggregate sequential-access bandwidth (GB/s) with @p threads
  * threads issuing @p kind ops (Fig. 3).
+ * @param rasOut when non-null, receives the machine's RAS counters
+ *               (zeroed when faults are disabled).
  */
 double runSeqBandwidth(Target target, MemOp::Kind kind,
-                       std::uint32_t threads, const Options &opts = {});
+                       std::uint32_t threads, const Options &opts = {},
+                       RasStats *rasOut = nullptr);
 
 /**
  * Aggregate random-block bandwidth (GB/s): each thread touches
@@ -90,11 +98,33 @@ double runSeqBandwidth(Target target, MemOp::Kind kind,
  */
 double runRandBandwidth(Target target, MemOp::Kind kind,
                         std::uint32_t threads, std::uint64_t blockBytes,
-                        const Options &opts = {});
+                        const Options &opts = {},
+                        RasStats *rasOut = nullptr);
 
 /** Loaded-latency companion (not a paper figure; used by tests). */
 double runLoadedLatency(Target target, std::uint32_t threads,
-                        const Options &opts = {});
+                        const Options &opts = {},
+                        RasStats *rasOut = nullptr);
+
+/** Latency distribution of a loaded dependent-load probe. */
+struct LoadedLatencyDist
+{
+    double avgNs = 0.0;
+    double p50Ns = 0.0;
+    double p99Ns = 0.0;
+    RasStats ras; //!< machine RAS counters (zero when faults are off)
+};
+
+/**
+ * Loaded-latency probe with a tail-visible distribution: windows of
+ * dependent loads at random lines are timed individually, so a rare
+ * recovery event (link retry, host timeout, stall episode) lands in
+ * specific windows and surfaces as p99 rather than vanishing into one
+ * long-run average. This is the measurement bench_fault_tail sweeps.
+ */
+LoadedLatencyDist runLoadedLatencyDist(Target target,
+                                       std::uint32_t threads,
+                                       const Options &opts = {});
 
 /* ------------------------- data movement ------------------------- *
  * Fig. 4: moving data between local DDR5 ("D") and CXL memory ("C").
@@ -144,7 +174,8 @@ double runCopyBandwidth(CopyPath path, CopyMethod method,
  * --------------------------------------------------------------- */
 
 /** Build the machine that hosts @p target. */
-std::unique_ptr<Machine> makeMachine(Target target, bool prefetch);
+std::unique_ptr<Machine> makeMachine(Target target, bool prefetch,
+                                     const FaultSpec &faults = {});
 
 /** The NUMA node id of @p target on @p machine. */
 NodeId targetNode(Machine &m, Target target);

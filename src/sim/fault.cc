@@ -1,0 +1,186 @@
+#include "sim/fault.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cxlmemo
+{
+
+namespace
+{
+
+bool
+parseRate(const std::string &v, double &out)
+{
+    if (v.empty())
+        return false;
+    char *end = nullptr;
+    const double d = std::strtod(v.c_str(), &end);
+    if (end != v.c_str() + v.size())
+        return false;
+    out = d;
+    return true;
+}
+
+bool
+parseU64(const std::string &v, std::uint64_t &out)
+{
+    if (v.empty())
+        return false;
+    char *end = nullptr;
+    const unsigned long long u = std::strtoull(v.c_str(), &end, 10);
+    if (end != v.c_str() + v.size())
+        return false;
+    out = u;
+    return true;
+}
+
+void
+requireRate(double v, const char *what)
+{
+    if (!(v >= 0.0 && v <= 1.0)) {
+        throw std::invalid_argument(
+            std::string("FaultSpec: ") + what
+            + " must be a probability in [0,1]");
+    }
+}
+
+} // namespace
+
+void
+FaultSpec::validate() const
+{
+    requireRate(crcPerFlit, "crc rate");
+    requireRate(readPoisonRate, "poison rate");
+    requireRate(timeoutRate, "timeout rate");
+    requireRate(drainStallRate, "drain-stall rate");
+    requireRate(dramStallRate, "dram-stall rate");
+    if (maxHostRetries == 0 || maxHostRetries > 16)
+        throw std::invalid_argument(
+            "FaultSpec: retries must be in [1,16]");
+    if (requestTimeout == 0)
+        throw std::invalid_argument(
+            "FaultSpec: timeout-ns must be positive");
+    if (backoffBase == 0)
+        throw std::invalid_argument(
+            "FaultSpec: backoff-ns must be positive");
+}
+
+std::string
+FaultSpec::toString() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "crc=%g,poison=%g,timeout=%g,drain=%g,dram=%g,seed=%llu",
+                  crcPerFlit, readPoisonRate, timeoutRate, drainStallRate,
+                  dramStallRate, static_cast<unsigned long long>(seed));
+    return buf;
+}
+
+std::optional<FaultSpec>
+FaultSpec::parse(const std::string &text, std::string &error)
+{
+    FaultSpec spec;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string item = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos) {
+            error = "fault-spec item needs key=value: " + item;
+            return std::nullopt;
+        }
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        double rate = 0.0;
+        std::uint64_t num = 0;
+        if (key == "crc" && parseRate(value, rate)) {
+            spec.crcPerFlit = rate;
+        } else if (key == "poison" && parseRate(value, rate)) {
+            spec.readPoisonRate = rate;
+        } else if (key == "timeout" && parseRate(value, rate)) {
+            spec.timeoutRate = rate;
+        } else if (key == "drain" && parseRate(value, rate)) {
+            spec.drainStallRate = rate;
+        } else if (key == "dram" && parseRate(value, rate)) {
+            spec.dramStallRate = rate;
+        } else if (key == "stall-ns" && parseRate(value, rate)
+                   && rate >= 0.0) {
+            spec.drainStallTicks = ticksFromNs(rate);
+            spec.dramStallTicks = ticksFromNs(rate);
+        } else if (key == "timeout-ns" && parseRate(value, rate)
+                   && rate > 0.0) {
+            spec.requestTimeout = ticksFromNs(rate);
+        } else if (key == "backoff-ns" && parseRate(value, rate)
+                   && rate > 0.0) {
+            spec.backoffBase = ticksFromNs(rate);
+        } else if (key == "retries" && parseU64(value, num)) {
+            spec.maxHostRetries = static_cast<std::uint32_t>(num);
+        } else if (key == "degrade" && parseU64(value, num)) {
+            spec.degradeBurst = static_cast<std::uint32_t>(num);
+        } else if (key == "seed" && parseU64(value, num)) {
+            spec.seed = num;
+        } else {
+            error = "bad fault-spec item: " + item;
+            return std::nullopt;
+        }
+    }
+    try {
+        spec.validate();
+    } catch (const std::invalid_argument &e) {
+        error = e.what();
+        return std::nullopt;
+    }
+    return spec;
+}
+
+void
+RasStats::merge(const RasStats &o)
+{
+    crcErrors += o.crcErrors;
+    linkRetries += o.linkRetries;
+    flitsReplayed += o.flitsReplayed;
+    replayBytes += o.replayBytes;
+    retryTicks += o.retryTicks;
+    timeouts += o.timeouts;
+    hostRetries += o.hostRetries;
+    backoffTicks += o.backoffTicks;
+    drainStalls += o.drainStalls;
+    dramStalls += o.dramStalls;
+    poisonInjected += o.poisonInjected;
+    poisonConsumed += o.poisonConsumed;
+    poisonDelivered += o.poisonDelivered;
+    linkDegradations += o.linkDegradations;
+}
+
+std::string
+RasStats::summary() const
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "crc-errors=%llu link-retries=%llu replay-bytes=%llu "
+        "timeouts=%llu host-retries=%llu drain-stalls=%llu "
+        "dram-stalls=%llu poison-injected=%llu poison-consumed=%llu "
+        "poison-delivered=%llu degradations=%llu",
+        static_cast<unsigned long long>(crcErrors),
+        static_cast<unsigned long long>(linkRetries),
+        static_cast<unsigned long long>(replayBytes),
+        static_cast<unsigned long long>(timeouts),
+        static_cast<unsigned long long>(hostRetries),
+        static_cast<unsigned long long>(drainStalls),
+        static_cast<unsigned long long>(dramStalls),
+        static_cast<unsigned long long>(poisonInjected),
+        static_cast<unsigned long long>(poisonConsumed),
+        static_cast<unsigned long long>(poisonDelivered),
+        static_cast<unsigned long long>(linkDegradations));
+    return buf;
+}
+
+} // namespace cxlmemo

@@ -194,6 +194,13 @@ Machine::Machine(Testbed testbed, MachineOptions opts) : testbed_(testbed)
     if (opts.localChannels)
         local_channels = *opts.localChannels;
 
+    // The fault model covers the CXL path only (the paper's device
+    // under test); local/remote DDR5 stays healthy. No injector is
+    // created when every rate is zero, so the disabled configuration
+    // is byte-identical to a machine without the RAS layer.
+    if (opts.faults.enabled())
+        faults_ = std::make_unique<FaultInjector>(opts.faults);
+
     local_ = std::make_unique<InterleavedMemory>(
         eq_, "ddr5-l" + std::to_string(local_channels), localDdr5Channel(),
         local_channels);
@@ -206,7 +213,8 @@ Machine::Machine(Testbed testbed, MachineOptions opts) : testbed_(testbed)
     }
     if (with_cxl) {
         cxl_ = std::make_unique<CxlMemDevice>(
-            eq_, opts.cxlDevice ? *opts.cxlDevice : agilexCxlDevice());
+            eq_, opts.cxlDevice ? *opts.cxlDevice : agilexCxlDevice(),
+            faults_.get());
         cxlNode_ = numa_.addNode("cxl-dram", cxl_.get(), 16 * giB,
                                  /*hasCpu=*/false);
         // The flushed-line handshake happens at the host home agent
@@ -218,6 +226,8 @@ Machine::Machine(Testbed testbed, MachineOptions opts) : testbed_(testbed)
     h.prefetchEnabled = opts.prefetchEnabled;
     h.tlbEnabled = opts.tlbEnabled;
     caches_ = std::make_unique<CacheHierarchy>(eq_, numa_, h);
+    if (faults_)
+        caches_->setFaultInjector(faults_.get());
     dsa_ = std::make_unique<Dsa>(eq_, numa_, DsaParams{});
     coreParams_ = sprCore();
 }
@@ -265,6 +275,8 @@ Machine::resetStats()
         remote_->resetStats();
     if (cxl_)
         cxl_->resetStats();
+    if (faults_)
+        faults_->stats().reset();
 }
 
 std::string
@@ -299,7 +311,14 @@ Machine::statsString() const
            << ", writes stalled " << cs.writesStalled
            << ", write-buffer high-water " << cs.writeBufferHighWater
            << "\n";
+        if (faults_) {
+            os << "    link degrade level: M2S "
+               << cxl_->downDegradeLevel() << ", S2M "
+               << cxl_->upDegradeLevel() << "\n";
+        }
     }
+    if (faults_)
+        os << "  ras: " << faults_->stats().summary() << "\n";
     const CacheStats &llc = caches_->llcStats();
     os << "  llc: hits " << llc.hits << ", misses " << llc.misses
        << " (hit rate " << 100.0 * llc.hitRate() << "%), dirty evictions "

@@ -21,6 +21,7 @@
 #include "mem/dram.hh"
 #include "numa/numa.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 
 namespace cxlmemo
 {
@@ -53,6 +54,11 @@ struct MachineOptions
     /** Replace the CXL device (e.g. a hypothetical ASIC; see
      *  bench_future_cxl). */
     std::optional<CxlDeviceParams> cxlDevice;
+    /** RAS fault model applied to the CXL path (link, controller and
+     *  the device-side DRAM). All-zero rates (the default) build a
+     *  healthy machine with no injector at all, guaranteeing
+     *  bit-identical behaviour to a build without the RAS layer. */
+    FaultSpec faults;
 };
 
 /**
@@ -89,6 +95,15 @@ class Machine
     UpiRemoteMemory &remoteMem();
     CxlMemDevice &cxlDev();
 
+    /** Fault injector (nullptr when faults are disabled). */
+    FaultInjector *faults() { return faults_.get(); }
+
+    /** RAS counters, or nullptr when faults are disabled. */
+    const RasStats *rasStats() const
+    {
+        return faults_ ? &faults_->stats() : nullptr;
+    }
+
     /** Create a thread pinned to @p core with this machine's core
      *  parameters. */
     std::unique_ptr<HwThread> makeThread(std::uint16_t core);
@@ -113,6 +128,7 @@ class Machine
     EventQueue eq_;
     NumaSpace numa_;
 
+    std::unique_ptr<FaultInjector> faults_; //!< before devices using it
     std::unique_ptr<InterleavedMemory> local_;
     std::unique_ptr<UpiRemoteMemory> remote_;
     std::unique_ptr<CxlMemDevice> cxl_;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "mem/dram.hh"
@@ -317,7 +318,7 @@ TEST(DramChannelDeathTest, RejectsBadGeometry)
     EventQueue eq;
     DramChannelParams p = testParams();
     p.rowBytes = 1536; // not a whole number of stripes
-    EXPECT_DEATH(DramChannel(eq, p), "whole stripes");
+    EXPECT_THROW(DramChannel(eq, p), std::invalid_argument);
 }
 
 } // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "system/machine.hh"
 
 namespace cxlmemo
@@ -102,6 +104,40 @@ TEST(Machine, StatsReportReflectsTraffic)
     EXPECT_NE(s.find("reads 64"), std::string::npos);
     EXPECT_NE(s.find("llc"), std::string::npos);
     EXPECT_NE(s.find("link bytes"), std::string::npos);
+}
+
+TEST(Machine, DisabledFaultSpecIsZeroCost)
+{
+    // A default (all-zero) FaultSpec must not even build an injector:
+    // the machine behaves bit-identically to one that never heard of
+    // faults.
+    MachineOptions o;
+    EXPECT_FALSE(o.faults.enabled());
+    Machine plain(Testbed::SingleSocketCxl);
+    Machine specd(Testbed::SingleSocketCxl, o);
+    EXPECT_EQ(specd.faults(), nullptr);
+    EXPECT_EQ(specd.rasStats(), nullptr);
+
+    auto drive = [](Machine &m) {
+        NumaBuffer buf =
+            m.numa().alloc(4 * miB, MemPolicy::membind(m.cxlNode()));
+        for (int i = 0; i < 64; ++i) {
+            m.caches().load(0, buf.translate(std::uint64_t(i) * 4096),
+                            m.eq().curTick(), nullptr);
+            m.eq().run();
+        }
+        return m.statsString();
+    };
+    EXPECT_EQ(drive(plain), drive(specd));
+    EXPECT_EQ(drive(plain).find("ras:"), std::string::npos);
+}
+
+TEST(Machine, FaultSpecValidatedAtConstruction)
+{
+    MachineOptions o;
+    o.faults.crcPerFlit = 7.0; // not a probability
+    EXPECT_THROW(Machine(Testbed::SingleSocketCxl, o),
+                 std::invalid_argument);
 }
 
 TEST(Machine, ResetStatsClearsDeviceCounters)

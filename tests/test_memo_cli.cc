@@ -149,6 +149,69 @@ TEST(MemoCli, RejectsBadInput)
     EXPECT_FALSE(parse({"--frobnicate"}).has_value());
 }
 
+TEST(MemoCli, ParseSizeRejectsOverflow)
+{
+    // Would overflow uint64 while accumulating digits...
+    EXPECT_FALSE(parseSize("99999999999999999999").has_value());
+    // ...or when the suffix multiplier is applied.
+    EXPECT_FALSE(parseSize("18446744073709551615G").has_value());
+    EXPECT_FALSE(parseSize("99999999999999999M").has_value());
+    // The largest representable values still parse.
+    EXPECT_TRUE(parseSize("18446744073709551615").has_value());
+    EXPECT_EQ(parseSize("16777215G"), 16777215ull * giB);
+}
+
+TEST(MemoCli, RejectsOutOfRangeBlockWssAndBatch)
+{
+    // Blocks must be cacheline multiples in [64, 64M].
+    EXPECT_FALSE(parse({"--mode", "rand", "--block", "0"}).has_value());
+    EXPECT_FALSE(parse({"--mode", "rand", "--block", "32"}).has_value());
+    EXPECT_FALSE(parse({"--mode", "rand", "--block", "100"}).has_value());
+    EXPECT_FALSE(
+        parse({"--mode", "rand", "--block", "128M"}).has_value());
+    EXPECT_TRUE(parse({"--mode", "rand", "--block", "64"}).has_value());
+
+    // WSS must be cacheline multiples in [128, 8G].
+    EXPECT_FALSE(parse({"--mode", "chase", "--wss", "64"}).has_value());
+    EXPECT_FALSE(parse({"--mode", "chase", "--wss", "96"}).has_value());
+    EXPECT_FALSE(parse({"--mode", "chase", "--wss", "16G"}).has_value());
+    EXPECT_TRUE(parse({"--mode", "chase", "--wss", "128"}).has_value());
+
+    // Copy batch depth is 1..1024.
+    EXPECT_FALSE(parse({"--mode", "copy", "--batch", "0"}).has_value());
+    EXPECT_FALSE(
+        parse({"--mode", "copy", "--batch", "1025"}).has_value());
+    EXPECT_TRUE(
+        parse({"--mode", "copy", "--batch", "1024"}).has_value());
+}
+
+TEST(MemoCli, FaultSpecFlagParses)
+{
+    auto cfg = parse({"--mode", "loaded", "--target", "cxl",
+                      "--fault-spec", "crc=1e-4,poison=1e-6,retries=4"});
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_TRUE(cfg->faults.enabled());
+    EXPECT_DOUBLE_EQ(cfg->faults.crcPerFlit, 1e-4);
+    EXPECT_DOUBLE_EQ(cfg->faults.readPoisonRate, 1e-6);
+    EXPECT_EQ(cfg->faults.maxHostRetries, 4u);
+}
+
+TEST(MemoCli, FaultSpecDefaultsDisabled)
+{
+    auto cfg = parse({"--mode", "seq"});
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_FALSE(cfg->faults.enabled());
+}
+
+TEST(MemoCli, FaultSpecRejectsBadGrammar)
+{
+    EXPECT_FALSE(parse({"--fault-spec", "crc"}).has_value());
+    EXPECT_FALSE(parse({"--fault-spec", "crc=2"}).has_value());
+    EXPECT_FALSE(parse({"--fault-spec", "unknown=1"}).has_value());
+    EXPECT_FALSE(parse({"--fault-spec"}).has_value()); // missing value
+    EXPECT_NE(cliUsage().find("--fault-spec"), std::string::npos);
+}
+
 TEST(MemoCli, HelpShortCircuits)
 {
     auto cfg = parse({"--help"});

@@ -162,5 +162,41 @@ TEST(SweepRunner, SimulatedSweepIsDeterministicAcrossJobCounts)
     EXPECT_NE(csv1.find("DDR5-L8,load,1,"), std::string::npos);
 }
 
+/**
+ * Fault injection keeps that contract: every sweep point builds its
+ * own Machine whose injector is seeded from the spec, so the fault
+ * sequence -- and therefore both the figure values and the RAS
+ * counters -- is identical for any job count.
+ */
+TEST(SweepRunner, FaultSweepIsDeterministicAcrossJobCounts)
+{
+    memo::Options opts;
+    opts.warmupUs = 5.0;
+    opts.measureUs = 20.0;
+    opts.faults.crcPerFlit = 1e-3;
+    opts.faults.readPoisonRate = 1e-4;
+    const std::vector<std::uint32_t> threads = {1, 2, 4};
+
+    auto point = [&](std::size_t i) {
+        RasStats ras;
+        const double bw = memo::runSeqBandwidth(
+            memo::Target::Cxl, MemOp::Kind::Load, threads[i], opts,
+            &ras);
+        char line[512];
+        std::snprintf(line, sizeof(line), "%u,%.3f,%s\n", threads[i],
+                      bw, ras.summary().c_str());
+        return std::string(line);
+    };
+
+    SweepRunner serial(1);
+    SweepRunner wide(4);
+    const auto rows1 = serial.map(threads.size(), point);
+    const auto rows4 = wide.map(threads.size(), point);
+    EXPECT_EQ(rows1, rows4);
+    // Faults actually fired: the rendered rows carry nonzero CRC
+    // counts, not an all-zero summary.
+    EXPECT_EQ(rows1[0].find("crc-errors=0 "), std::string::npos);
+}
+
 } // namespace
 } // namespace cxlmemo
