@@ -69,7 +69,11 @@ void
 CacheHierarchy::writebackLine(std::uint64_t la, std::uint16_t source,
                               Tick at, Done cb)
 {
-    eq_.schedule(std::max(at, eq_.curTick()),
+    at = std::max(at, eq_.curTick());
+    // Writebacks carry a full data flit toward the device; the QoS
+    // throttle paces them together with the NT-store stream.
+    at += qosIssueDelay(source, paddrOfLine(la), at);
+    eq_.schedule(at,
                  [this, la, source, cb = std::move(cb)]() mutable {
         Addr local = 0;
         MemoryDevice &dev = numa_.route(paddrOfLine(la), local);

@@ -29,6 +29,7 @@
 #include "numa/numa.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
+#include "sim/qos.hh"
 
 namespace cxlmemo
 {
@@ -168,6 +169,32 @@ class CacheHierarchy
     void setFaultInjector(FaultInjector *f) { faults_ = f; }
 
     /**
+     * Wire up the host bridge's QoS throttle: issues targeting
+     * @p node (the CXL device reporting DevLoad) are paced by
+     * @p throttle. nullptr disables (the default: zero overhead,
+     * bit-identical timing).
+     */
+    void
+    setQosThrottle(HostThrottle *throttle, NodeId node)
+    {
+        qosThrottle_ = throttle;
+        qosNode_ = node;
+    }
+
+    /**
+     * Pacing delay for one line issued by @p core toward @p paddr at
+     * @p at; 0 unless a throttle is wired up and the address routes
+     * to the throttled node.
+     */
+    Tick
+    qosIssueDelay(std::uint16_t core, Addr paddr, Tick at)
+    {
+        if (!qosThrottle_ || nodeOfPaddr(paddr) != qosNode_)
+            return 0;
+        return qosThrottle_->issueDelay(core, at);
+    }
+
+    /**
      * Poison status of the most recent data delivery (a load hit on a
      * poisoned line, or a fill from a poisoned memory read). The
      * consumer (HwThread) takes it immediately after the hierarchy
@@ -259,6 +286,9 @@ class CacheHierarchy
     std::unordered_set<std::uint64_t> recentlyFlushed_;
     PrefetchStats pfStats_;
     std::uint64_t streamClock_ = 0;
+
+    HostThrottle *qosThrottle_ = nullptr;
+    NodeId qosNode_ = 0;
 
     FaultInjector *faults_ = nullptr;
     /** Cached lines whose data carries poison from a faulty read. */

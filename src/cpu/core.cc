@@ -163,6 +163,13 @@ HwThread::tryIssue()
             if (outstandingNt_ >= params_.wcBuffers)
                 return;
             localTime_ += params_.ntIssueCost;
+            // QoS reaction point: the host throttle paces WC-buffer
+            // eviction toward an overloaded device (0 when disabled).
+            if (const Tick pace =
+                    hier_.qosIssueDelay(core_, op.paddr, localTime_)) {
+                localTime_ += pace;
+                stats_.qosThrottleTicks += pace;
+            }
             stats_.ntStores++;
             stats_.bytesWritten += cachelineBytes;
             ++outstandingNt_;
@@ -227,6 +234,10 @@ HwThread::tryIssue()
                 CXLMEMO_ASSERT(outstandingLoads_ > 0, "mov64 underflow");
                 --outstandingLoads_;
                 lastCompletion_ = std::max(lastCompletion_, t);
+                if (const Tick pace = hier_.qosIssueDelay(core_, dst, t)) {
+                    t += pace;
+                    stats_.qosThrottleTicks += pace;
+                }
                 hier_.ntStore(
                     core_, dst, t,
                     /*onAccept=*/[this](Tick) {

@@ -104,6 +104,10 @@ struct ThreadStats
      *  simulated workload keeps running but the event is never
      *  silent. */
     std::uint64_t poisonedLoads = 0;
+
+    /** Issue-point pacing inserted by the QoS host throttle (0 when
+     *  QoS is disabled). */
+    std::uint64_t qosThrottleTicks = 0;
 };
 
 /**

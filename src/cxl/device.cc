@@ -1,5 +1,7 @@
 #include "cxl/device.hh"
 
+#include <algorithm>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -26,7 +28,7 @@ CxlDeviceParams::validate() const
 }
 
 CxlMemDevice::CxlMemDevice(EventQueue &eq, CxlDeviceParams params,
-                           FaultInjector *faults)
+                           FaultInjector *faults, const QosSpec &qos)
     : eq_(eq),
       params_(std::move(params)),
       faults_(faults),
@@ -34,6 +36,16 @@ CxlMemDevice::CxlMemDevice(EventQueue &eq, CxlDeviceParams params,
       up_(eq, params_.link, faults)
 {
     params_.validate();
+    qos.validate();
+    if (qos.creditsEnabled()) {
+        down_.enableCredits(qos.rdCredits, qos.wrCredits);
+        creditRunLimit_ = qos.burstLines;
+    }
+    if (qos.enabled()) {
+        meter_ = std::make_unique<DevLoadMeter>(qos);
+        qosOn_ = true;
+        instrumented_ = true;
+    }
     backend_ = std::make_unique<InterleavedMemory>(
         eq, params_.name + ".mem", params_.backend,
         params_.backendChannels, /*interleaveBytes=*/256, faults_);
@@ -42,6 +54,8 @@ CxlMemDevice::CxlMemDevice(EventQueue &eq, CxlDeviceParams params,
 void
 CxlMemDevice::access(MemRequest req)
 {
+    if (instrumented_)
+        ++hostInFlight_;
     if (req.cmd == MemCmd::NtWrite) {
         if (ntPosted_ < params_.hostPostedEntries) {
             admitPosted(std::move(req));
@@ -82,7 +96,102 @@ CxlMemDevice::admitPosted(MemRequest req)
 void
 CxlMemDevice::dispatch(MemRequest req)
 {
+    if (LinkCredits *lc = down_.credits()) {
+        CreditPool &pool = isWrite(req.cmd) ? lc->wr : lc->rd;
+        if (pool.capacity() > 0 && !pool.tryAcquire()) {
+            // Out of credits for this message class: the sender stalls
+            // locally. tryAcquire() counted the stall; the waited time
+            // is accounted when the freeing response wakes us.
+            auto &wait = isWrite(req.cmd) ? wrCreditWait_ : rdCreditWait_;
+            wait.emplace_back(std::move(req), eq_.curTick());
+            qosSample();
+            return;
+        }
+    }
     dispatchAttempt(std::move(req), 0);
+}
+
+std::pair<MemRequest, Tick>
+CxlMemDevice::popCreditWaiter(
+    std::deque<std::pair<MemRequest, Tick>> &wait,
+    std::uint16_t &serveSource, std::uint32_t &serveRun)
+{
+    // Continue the current source's stint if it still has a waiter and
+    // the run bound is not exhausted; otherwise start a new stint at
+    // the overall-oldest waiter. Stints are bounded, so every source
+    // is reached in at most (sources - 1) * creditRunLimit_ grants:
+    // batching, not starvation.
+    if (serveRun < creditRunLimit_) {
+        for (auto it = wait.begin(); it != wait.end(); ++it) {
+            if (it->first.source == serveSource) {
+                auto entry = std::move(*it);
+                wait.erase(it);
+                ++serveRun;
+                return entry;
+            }
+        }
+    }
+    auto entry = std::move(wait.front());
+    wait.pop_front();
+    serveSource = entry.first.source;
+    serveRun = 1;
+    return entry;
+}
+
+void
+CxlMemDevice::releaseCredit(bool write, Tick now)
+{
+    LinkCredits *lc = down_.credits();
+    if (!lc)
+        return;
+    CreditPool &pool = write ? lc->wr : lc->rd;
+    if (pool.capacity() == 0)
+        return;
+    pool.release();
+    auto &wait = write ? wrCreditWait_ : rdCreditWait_;
+    if (!wait.empty()) {
+        auto [req, since] =
+            write ? popCreditWaiter(wait, wrServeSource_, wrServeRun_)
+                  : popCreditWaiter(wait, rdServeSource_, rdServeRun_);
+        pool.noteStallEnd(now - since);
+        if (req.source >= sourceCreditStall_.size())
+            sourceCreditStall_.resize(req.source + 1);
+        sourceCreditStall_[req.source] += now - since;
+        const bool got = pool.tryAcquire();
+        CXLMEMO_ASSERT(got, "credit vanished between release and acquire");
+        dispatchAttempt(std::move(req), 0);
+    }
+    qosSample();
+}
+
+void
+CxlMemDevice::noteResponse(bool write, Tick at)
+{
+    if (instrumented_) {
+        ++retired_;
+        CXLMEMO_ASSERT(hostInFlight_ > 0, "host in-flight underflow");
+        --hostInFlight_;
+    }
+    releaseCredit(write, at);
+    if (meter_ && throttle_)
+        throttle_->observe(meter_->load(), meter_->level(), at);
+}
+
+void
+CxlMemDevice::qosSample()
+{
+    if (!meter_)
+        return;
+    double wr =
+        static_cast<double>(writesBuffered_ + writeWaitQueue_.size())
+        / params_.writeBufferEntries;
+    double rd =
+        static_cast<double>(readsInFlight_ + readWaitQueue_.size())
+        / params_.readQueueEntries;
+    // Deliberately excludes the credit-wait queues: DevLoad is the
+    // device reporting its *internal* queue state, and sender-side
+    // credit stalls are not visible to it.
+    meter_->sample(std::max(wr, rd), eq_.curTick());
 }
 
 void
@@ -134,6 +243,7 @@ CxlMemDevice::readArrived(MemRequest req)
         ctrlStats_.readsStalled++;
         readWaitQueue_.push(std::move(req), eq_.curTick());
     }
+    qosSample();
 }
 
 void
@@ -145,6 +255,7 @@ CxlMemDevice::writeArrived(MemRequest req)
         ctrlStats_.writesStalled++;
         writeWaitQueue_.push(std::move(req), eq_.curTick());
     }
+    qosSample();
 }
 
 void
@@ -172,14 +283,20 @@ CxlMemDevice::admitRead(MemRequest req)
             const bool poisoned = faults_ && faults_->poisonRead();
             if (poisoned)
                 faults_->stats().poisonInjected++;
+            qosSample();
             eq_.scheduleIn(params_.controllerEgress,
                            [this, poisoned,
                             cb = std::move(cb)]() mutable {
                 const Tick arrive = up_.transmit(params_.link.dataBytes);
-                if (cb || poisoned) {
+                // The S2M DRS delivery also carries the read-class
+                // credit and the DevLoad field back to the host, so
+                // instrumented devices need the event even for
+                // fire-and-forget reads.
+                if (cb || poisoned || instrumented_) {
                     eq_.schedule(arrive, [this, poisoned,
                                           cb = std::move(cb),
                                           arrive]() mutable {
+                        noteResponse(/*write=*/false, arrive);
                         if (poisoned)
                             faults_->armPoison();
                         if (cb)
@@ -204,10 +321,14 @@ CxlMemDevice::admitWrite(MemRequest req)
 
     // CXL.mem acknowledges a write (S2M NDR) once the controller has
     // accepted the data; draining to DDR4 happens in the background.
+    // The NDR also carries the write-class credit and DevLoad field.
     const Tick arrive = up_.transmit(params_.link.headerBytes);
-    if (req.onComplete) {
-        eq_.schedule(arrive, [cb = std::move(req.onComplete), arrive] {
-            cb(arrive);
+    if (req.onComplete || instrumented_) {
+        eq_.schedule(arrive, [this, cb = std::move(req.onComplete),
+                              arrive]() mutable {
+            noteResponse(/*write=*/true, arrive);
+            if (cb)
+                cb(arrive);
         });
     }
 
@@ -218,11 +339,14 @@ CxlMemDevice::admitWrite(MemRequest req)
     drain.onComplete = [this](Tick) {
         CXLMEMO_ASSERT(writesBuffered_ > 0, "write buffer underflow");
         --writesBuffered_;
+        if (instrumented_)
+            ++retired_; // a drained line is forward progress too
         if (!writeWaitQueue_.empty()) {
             auto [waiting, since] = writeWaitQueue_.pop();
             ctrlStats_.writeStallTicks += eq_.curTick() - since;
             admitWrite(std::move(waiting));
         }
+        qosSample();
     };
     if (faults_ && faults_->drainStall()) {
         // Stuck/slow-drain episode: the buffered line sits in the
@@ -239,12 +363,124 @@ CxlMemDevice::admitWrite(MemRequest req)
 }
 
 void
+CxlMemDevice::fillQosStats(QosStats &qs) const
+{
+    if (const LinkCredits *lc = down_.credits()) {
+        qs.rdCreditStalls = lc->rd.stalls();
+        qs.wrCreditStalls = lc->wr.stalls();
+        qs.creditStallTicks = lc->rd.stallTicks() + lc->wr.stallTicks();
+        qs.rdIssued = lc->rd.issued();
+        qs.rdReturned = lc->rd.returned();
+        qs.rdInFlight = lc->rd.inFlight();
+        qs.wrIssued = lc->wr.issued();
+        qs.wrReturned = lc->wr.returned();
+        qs.wrInFlight = lc->wr.inFlight();
+        qs.ledgerOk = lc->ledgerOk();
+    }
+    qs.devLoad = devLoad();
+}
+
+namespace
+{
+
+void
+queueLine(std::ostream &os, const char *label, std::size_t depth,
+          std::optional<Tick> oldest, Tick now)
+{
+    os << "    " << label << ": depth " << depth;
+    if (oldest)
+        os << ", oldest waiting " << nsFromTicks(now - *oldest) << " ns";
+    os << "\n";
+}
+
+std::optional<Tick>
+frontSince(const std::deque<std::pair<MemRequest, Tick>> &q)
+{
+    if (q.empty())
+        return std::nullopt;
+    return q.front().second;
+}
+
+} // namespace
+
+std::string
+CxlMemDevice::progressDiagnosis() const
+{
+    const Tick now = eq_.curTick();
+    std::ostringstream os;
+    os << "    trackers: reads-in-flight " << readsInFlight_ << "/"
+       << params_.readQueueEntries << ", writes-buffered "
+       << writesBuffered_ << "/" << params_.writeBufferEntries
+       << ", nt-posted " << ntPosted_ << "/" << params_.hostPostedEntries
+       << "\n";
+    queueLine(os, "read-wait", readWaitQueue_.size(),
+              readWaitQueue_.oldestSince(), now);
+    queueLine(os, "write-wait", writeWaitQueue_.size(),
+              writeWaitQueue_.oldestSince(), now);
+    os << "    posted-gate: depth " << postedGate_.size() << "\n";
+    queueLine(os, "rd-credit-wait", rdCreditWait_.size(),
+              frontSince(rdCreditWait_), now);
+    queueLine(os, "wr-credit-wait", wrCreditWait_.size(),
+              frontSince(wrCreditWait_), now);
+    if (const LinkCredits *lc = down_.credits()) {
+        os << "    credit ledger: rd " << lc->rd.issued() << "/"
+           << lc->rd.returned() << "/" << lc->rd.inFlight() << " of "
+           << lc->rd.capacity() << ", wr " << lc->wr.issued() << "/"
+           << lc->wr.returned() << "/" << lc->wr.inFlight() << " of "
+           << lc->wr.capacity() << " (issued/returned/in-flight), "
+           << (lc->ledgerOk() ? "ok" : "LEAK") << "\n";
+    }
+
+    // Name the stuck queue: the one holding the oldest waiter.
+    const char *stuck = nullptr;
+    Tick stuckSince = 0;
+    auto consider = [&](const char *name, std::optional<Tick> since) {
+        if (since && (!stuck || *since < stuckSince)) {
+            stuck = name;
+            stuckSince = *since;
+        }
+    };
+    consider("read-wait", readWaitQueue_.oldestSince());
+    consider("write-wait", writeWaitQueue_.oldestSince());
+    consider("rd-credit-wait", frontSince(rdCreditWait_));
+    consider("wr-credit-wait", frontSince(wrCreditWait_));
+    if (stuck) {
+        os << "    stuck queue: " << stuck << " (oldest request waiting "
+           << nsFromTicks(now - stuckSince) << " ns)\n";
+    }
+    return os.str();
+}
+
+std::string
+CxlMemDevice::progressInvariant() const
+{
+    const LinkCredits *lc = down_.credits();
+    if (!lc)
+        return {};
+    std::ostringstream os;
+    if (!lc->rd.ledgerOk()) {
+        os << "rd credit ledger broken: issued " << lc->rd.issued()
+           << " != returned " << lc->rd.returned() << " + in-flight "
+           << lc->rd.inFlight();
+        return os.str();
+    }
+    if (!lc->wr.ledgerOk()) {
+        os << "wr credit ledger broken: issued " << lc->wr.issued()
+           << " != returned " << lc->wr.returned() << " + in-flight "
+           << lc->wr.inFlight();
+        return os.str();
+    }
+    return {};
+}
+
+void
 CxlMemDevice::resetStats()
 {
     backend_->resetStats();
     down_.resetStats();
     up_.resetStats();
     ctrlStats_.reset();
+    std::fill(sourceCreditStall_.begin(), sourceCreditStall_.end(), 0);
 }
 
 } // namespace cxlmemo

@@ -24,6 +24,7 @@
 
 #include <cstdlib>
 #include <deque>
+#include <optional>
 #include <vector>
 #include <memory>
 #include <string>
@@ -32,6 +33,8 @@
 #include "mem/dram.hh"
 #include "mem/request.hh"
 #include "sim/event_queue.hh"
+#include "sim/qos.hh"
+#include "sim/watchdog.hh"
 
 namespace cxlmemo
 {
@@ -109,6 +112,21 @@ class FairWaitQueue
     bool empty() const { return count_ == 0; }
     std::size_t size() const { return count_; }
 
+    /** Arrival tick of the oldest queued request (diagnosis). Each
+     *  per-source deque is FIFO, so the oldest entry is some front. */
+    std::optional<Tick>
+    oldestSince() const
+    {
+        std::optional<Tick> oldest;
+        for (const auto &q : bySource_) {
+            if (!q.empty()
+                && (!oldest || q.front().second < *oldest)) {
+                oldest = q.front().second;
+            }
+        }
+        return oldest;
+    }
+
     /** Pop the next request, rotating across non-empty sources. */
     std::pair<MemRequest, Tick>
     pop()
@@ -137,12 +155,16 @@ class FairWaitQueue
  * are device-local (host physical to HDM decoding happens in the NUMA
  * layer).
  */
-class CxlMemDevice : public MemoryDevice
+class CxlMemDevice : public MemoryDevice, public ProgressSource
 {
   public:
-    /** @param faults optional fault injector (nullptr = healthy). */
+    /** @param faults optional fault injector (nullptr = healthy).
+     *  @param qos optional overload-control model: credit pools on
+     *         the M2S direction and/or DevLoad telemetry. The
+     *         default (disabled) spec changes nothing. */
     CxlMemDevice(EventQueue &eq, CxlDeviceParams params,
-                 FaultInjector *faults = nullptr);
+                 FaultInjector *faults = nullptr,
+                 const QosSpec &qos = {});
 
     void access(MemRequest req) override;
     const std::string &name() const override { return params_.name; }
@@ -163,6 +185,61 @@ class CxlMemDevice : public MemoryDevice
     std::size_t readWaitDepth() const { return readWaitQueue_.size(); }
     std::size_t writeWaitDepth() const { return writeWaitQueue_.size(); }
 
+    /* ---------------------- overload control --------------------- */
+
+    /** The host bridge reacting to this device's DevLoad telemetry
+     *  (piggybacked on S2M responses); nullptr = no reaction. */
+    void setHostThrottle(HostThrottle *throttle) { throttle_ = throttle; }
+
+    /** Keep retired/outstanding counters for the watchdog even when
+     *  QoS is disabled (adds response-delivery events; only called
+     *  when a watchdog actually supervises this device). */
+    void enableProgressTracking() { instrumented_ = true; }
+
+    /** M2S credit pools (nullptr when credits are disabled). */
+    const LinkCredits *credits() const { return down_.credits(); }
+
+    /** The credit-leak invariant across both message classes. */
+    bool
+    creditLedgerOk() const
+    {
+        const LinkCredits *lc = down_.credits();
+        return lc == nullptr || lc->ledgerOk();
+    }
+
+    /** Current EWMA DevLoad signal (0 when telemetry is disabled). */
+    double devLoad() const { return meter_ ? meter_->load() : 0.0; }
+
+    /** Requests stalled waiting for an M2S credit right now. */
+    std::size_t creditWaitDepth() const
+    {
+        return rdCreditWait_.size() + wrCreditWait_.size();
+    }
+
+    /** Credit-stall time attributed to requests of @p source (the
+     *  issuing core), for per-thread stats reporting. */
+    std::uint64_t
+    creditStallTicks(std::uint16_t source) const
+    {
+        return source < sourceCreditStall_.size()
+                   ? sourceCreditStall_[source]
+                   : 0;
+    }
+
+    /** Fill the credit/telemetry half of machine-wide QoS stats. */
+    void fillQosStats(QosStats &qs) const;
+
+    /* ----------------- ProgressSource (watchdog) ------------------ */
+
+    std::string progressName() const override { return params_.name; }
+    std::uint64_t progressRetired() const override { return retired_; }
+    std::uint64_t progressOutstanding() const override
+    {
+        return hostInFlight_ + writesBuffered_;
+    }
+    std::string progressDiagnosis() const override;
+    std::string progressInvariant() const override;
+
     void resetStats();
 
   private:
@@ -176,11 +253,32 @@ class CxlMemDevice : public MemoryDevice
 
     /** Host-side posted gate for NT stores. */
     void admitPosted(MemRequest req);
-    /** Transmit a request over the M2S link toward the controller. */
+    /** Transmit a request over the M2S link toward the controller;
+     *  stalls locally when the message class is out of credits. */
     void dispatch(MemRequest req);
     /** One host issue attempt: may time out and reissue with
-     *  exponential backoff (bounded by maxHostRetries). */
+     *  exponential backoff (bounded by maxHostRetries). The credit
+     *  acquired at dispatch is held across retries. */
     void dispatchAttempt(MemRequest req, std::uint32_t attempt);
+
+    /** A response reached the host: return the message-class credit
+     *  and wake one credit-starved waiter. */
+    void releaseCredit(bool write, Tick now);
+
+    /** Pop the next credit waiter using bounded same-source runs
+     *  (PAR-BS-style batching): strict FIFO grants would interleave
+     *  single lines from every core, destroying the DRAM row locality
+     *  that the backend write scheduler depends on. */
+    std::pair<MemRequest, Tick>
+    popCreditWaiter(std::deque<std::pair<MemRequest, Tick>> &wait,
+                    std::uint16_t &serveSource, std::uint32_t &serveRun);
+
+    /** Response delivered at @p at: progress accounting plus the
+     *  piggybacked DevLoad observation for the host throttle. */
+    void noteResponse(bool write, Tick at);
+
+    /** Resample the DevLoad meter after an occupancy change. */
+    void qosSample();
 
     EventQueue &eq_;
     CxlDeviceParams params_;
@@ -195,6 +293,24 @@ class CxlMemDevice : public MemoryDevice
     FairWaitQueue readWaitQueue_;
     FairWaitQueue writeWaitQueue_;
     std::deque<MemRequest> postedGate_;
+
+    /* overload control (all inert unless configured) */
+    std::unique_ptr<DevLoadMeter> meter_;
+    HostThrottle *throttle_ = nullptr;
+    std::deque<std::pair<MemRequest, Tick>> rdCreditWait_;
+    std::deque<std::pair<MemRequest, Tick>> wrCreditWait_;
+    std::vector<std::uint64_t> sourceCreditStall_; //!< per issuing core
+    std::uint16_t rdServeSource_ = 0; //!< sticky-run grant arbitration
+    std::uint32_t rdServeRun_ = 0;
+    std::uint16_t wrServeSource_ = 0;
+    std::uint32_t wrServeRun_ = 0;
+    std::uint32_t creditRunLimit_ = 1; //!< max grants per source stint
+    bool qosOn_ = false;
+    bool instrumented_ = false;
+
+    /* forward-progress accounting (instrumented_ only) */
+    std::uint64_t retired_ = 0;
+    std::uint64_t hostInFlight_ = 0;
 
     CxlControllerStats ctrlStats_;
 };

@@ -25,11 +25,13 @@
 #define CXLMEMO_CXL_LINK_HH
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
+#include "sim/qos.hh"
 #include "sim/types.hh"
 
 namespace cxlmemo
@@ -121,7 +123,31 @@ class CxlLinkDirection
     }
 
     std::uint64_t bytesMoved() const { return bytesMoved_; }
-    void resetStats() { bytesMoved_ = 0; }
+
+    void
+    resetStats()
+    {
+        bytesMoved_ = 0;
+        if (credits_) {
+            credits_->rd.resetStats();
+            credits_->wr.resetStats();
+        }
+    }
+
+    /**
+     * Attach per-message-class credit pools to this direction (CXL
+     * link-layer flow control). A 0 capacity leaves that class
+     * uncapped. Without this call `credits()` stays null and the
+     * direction behaves exactly as before.
+     */
+    void
+    enableCredits(std::uint32_t rdCredits, std::uint32_t wrCredits)
+    {
+        credits_ = std::make_unique<LinkCredits>(rdCredits, wrCredits);
+    }
+
+    LinkCredits *credits() { return credits_.get(); }
+    const LinkCredits *credits() const { return credits_.get(); }
 
     /** Raw rate after degradation (width/speed downgrade). */
     double
@@ -189,6 +215,7 @@ class CxlLinkDirection
     EventQueue &eq_;
     CxlLinkParams params_;
     FaultInjector *faults_ = nullptr;
+    std::unique_ptr<LinkCredits> credits_;
     Tick freeAt_ = 0;
     std::uint64_t bytesMoved_ = 0;
     std::uint32_t degradeLevel_ = 0;

@@ -87,13 +87,24 @@ exportRas(const Machine &m, RasStats *rasOut)
         rasOut->reset();
 }
 
+void
+exportQos(const Machine &m, QosStats *qosOut)
+{
+    if (!qosOut)
+        return;
+    if (auto qs = m.qosStats())
+        *qosOut = *qs;
+    else
+        qosOut->reset();
+}
+
 } // namespace
 
 double
 runSeqBandwidth(Target target, MemOp::Kind kind, std::uint32_t threads,
-                const Options &opts, RasStats *rasOut)
+                const Options &opts, RasStats *rasOut, QosStats *qosOut)
 {
-    auto m = makeMachine(target, opts.prefetch, opts.faults);
+    auto m = makeMachine(target, opts, opts.prefetch);
     const MemPolicy policy = MemPolicy::membind(targetNode(*m, target));
     NumaBuffer buf =
         m->numa().alloc(std::uint64_t(threads) * regionBytes, policy);
@@ -106,15 +117,16 @@ runSeqBandwidth(Target target, MemOp::Kind kind, std::uint32_t threads,
                 endlessBytes, kind);
         });
     exportRas(*m, rasOut);
+    exportQos(*m, qosOut);
     return gbps;
 }
 
 double
 runRandBandwidth(Target target, MemOp::Kind kind, std::uint32_t threads,
                  std::uint64_t blockBytes, const Options &opts,
-                 RasStats *rasOut)
+                 RasStats *rasOut, QosStats *qosOut)
 {
-    auto m = makeMachine(target, opts.prefetch, opts.faults);
+    auto m = makeMachine(target, opts, opts.prefetch);
     const MemPolicy policy = MemPolicy::membind(targetNode(*m, target));
     NumaBuffer buf =
         m->numa().alloc(std::uint64_t(threads) * regionBytes, policy);
@@ -131,15 +143,16 @@ runRandBandwidth(Target target, MemOp::Kind kind, std::uint32_t threads,
                 opts.seed + 1000 + t);
         });
     exportRas(*m, rasOut);
+    exportQos(*m, qosOut);
     return gbps;
 }
 
 double
 runLoadedLatency(Target target, std::uint32_t threads,
-                 const Options &opts, RasStats *rasOut)
+                 const Options &opts, RasStats *rasOut, QosStats *qosOut)
 {
     CXLMEMO_ASSERT(threads >= 1, "need at least the probe thread");
-    auto m = makeMachine(target, opts.prefetch, opts.faults);
+    auto m = makeMachine(target, opts, opts.prefetch);
     const MemPolicy policy = MemPolicy::membind(targetNode(*m, target));
     NumaBuffer probe_buf = m->numa().alloc(regionBytes, policy);
     NumaBuffer bg_buf = m->numa().alloc(
@@ -179,6 +192,7 @@ runLoadedLatency(Target target, std::uint32_t threads,
             CXLMEMO_PANIC("probe starved: event queue drained");
     }
     exportRas(*m, rasOut);
+    exportQos(*m, qosOut);
     return nsFromTicks(end - start) / static_cast<double>(probe_accesses);
 }
 
@@ -187,7 +201,7 @@ runLoadedLatencyDist(Target target, std::uint32_t threads,
                      const Options &opts)
 {
     CXLMEMO_ASSERT(threads >= 1, "need at least the probe thread");
-    auto m = makeMachine(target, opts.prefetch, opts.faults);
+    auto m = makeMachine(target, opts, opts.prefetch);
     const MemPolicy policy = MemPolicy::membind(targetNode(*m, target));
     NumaBuffer probe_buf = m->numa().alloc(regionBytes, policy);
     NumaBuffer bg_buf = m->numa().alloc(
@@ -246,6 +260,7 @@ runLoadedLatencyDist(Target target, std::uint32_t threads,
     dist.p99Ns = window_ns.p99();
     if (const RasStats *rs = m->rasStats())
         dist.ras = *rs;
+    exportQos(*m, &dist.qos);
     return dist;
 }
 

@@ -182,7 +182,15 @@ cliUsage()
         "                crc= poison= timeout= drain= dram= (rates in\n"
         "                [0,1]), stall-ns= timeout-ns= backoff-ns=\n"
         "                retries= degrade= seed=\n"
-        "                e.g. --fault-spec crc=1e-4,poison=1e-6\n";
+        "                e.g. --fault-spec crc=1e-4,poison=1e-6\n"
+        "  --qos-spec    key=value[,...] CXL overload control:\n"
+        "                credits= rd-credits= wr-credits= (M2S flow\n"
+        "                control), policy=none|linear|aimd target=\n"
+        "                ewma-ns= period-ns= ai= md= floor= slope=\n"
+        "                burst= line-ns= (host throttle)\n"
+        "                e.g. --qos-spec credits=24,policy=aimd\n"
+        "  --watchdog    forward-progress watchdog (100 us snapshots)\n"
+        "  --watchdog-ns N   watchdog snapshot interval in ns\n";
 }
 
 std::optional<CliConfig>
@@ -360,6 +368,31 @@ parseCli(const std::vector<std::string> &args, std::string &error)
             }
             cfg.faults = *fs;
             ++i;
+        } else if (a == "--qos-spec") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            std::string qerr;
+            auto qs = QosSpec::parse(*v, qerr);
+            if (!qs) {
+                error = qerr;
+                return std::nullopt;
+            }
+            cfg.qos = *qs;
+            ++i;
+        } else if (a == "--watchdog") {
+            if (cfg.watchdogUs == 0.0)
+                cfg.watchdogUs = 100.0;
+        } else if (a == "--watchdog-ns") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            auto n = parseSize(*v);
+            if (!n || *n == 0) {
+                error = "bad watchdog interval (ns): " + *v;
+                return std::nullopt;
+            }
+            cfg.watchdogUs = static_cast<double>(*n) / 1000.0;
         } else if (a == "--prefetch") {
             cfg.prefetch = true;
         } else if (a == "--csv") {
@@ -394,11 +427,12 @@ opName(MemOp::Kind k)
     }
 }
 
-/** One sweep-point result plus its machine's RAS counters. */
+/** One sweep-point result plus its machine's RAS/QoS counters. */
 struct PointResult
 {
     double value = 0.0;
     RasStats ras;
+    QosStats qos;
 };
 
 void
@@ -431,6 +465,30 @@ printRasLine(const RasStats &rs)
     std::printf("  ras: %s\n", rs.summary().c_str());
 }
 
+void
+printQosCsvHeader()
+{
+    std::printf(",credit_stalls,credit_stall_ns,throttle_ns,devload,"
+                "rate,ledger_ok");
+}
+
+void
+printQosCsvCells(const QosStats &qs)
+{
+    std::printf(",%llu,%llu,%llu,%.3f,%.3f,%d",
+                (unsigned long long)(qs.rdCreditStalls
+                                     + qs.wrCreditStalls),
+                (unsigned long long)(qs.creditStallTicks / tickPerNs),
+                (unsigned long long)(qs.throttleDelayTicks / tickPerNs),
+                qs.devLoad, qs.rate, qs.ledgerOk ? 1 : 0);
+}
+
+void
+printQosLine(const QosStats &qs)
+{
+    std::printf("  qos: %s\n", qs.summary().c_str());
+}
+
 int
 runCli(const CliConfig &cfg)
 {
@@ -438,7 +496,10 @@ runCli(const CliConfig &cfg)
     opts.prefetch = cfg.prefetch;
     opts.seed = cfg.seed;
     opts.faults = cfg.faults;
+    opts.qos = cfg.qos;
+    opts.watchdogUs = cfg.watchdogUs;
     const bool ras = cfg.faults.enabled();
+    const bool qos = cfg.qos.enabled();
 
     switch (cfg.mode) {
       case CliMode::Help:
@@ -475,13 +536,16 @@ runCli(const CliConfig &cfg)
         const auto bws = pool.map(cfg.threads.size(), [&](std::size_t i) {
             PointResult p;
             p.value = runSeqBandwidth(cfg.target, cfg.op,
-                                      cfg.threads[i], opts, &p.ras);
+                                      cfg.threads[i], opts, &p.ras,
+                                      &p.qos);
             return p;
         });
         if (cfg.csv) {
             std::printf("target,op,threads,gbps");
             if (ras)
                 printRasCsvHeader();
+            if (qos)
+                printQosCsvHeader();
             std::printf("\n");
         }
         for (std::size_t i = 0; i < cfg.threads.size(); ++i) {
@@ -491,6 +555,8 @@ runCli(const CliConfig &cfg)
                             opName(cfg.op), t, bws[i].value);
                 if (ras)
                     printRasCsvCells(bws[i].ras);
+                if (qos)
+                    printQosCsvCells(bws[i].qos);
                 std::printf("\n");
             } else {
                 std::printf("%s %s seq, %2u threads: %7.2f GB/s\n",
@@ -498,6 +564,8 @@ runCli(const CliConfig &cfg)
                             bws[i].value);
                 if (ras)
                     printRasLine(bws[i].ras);
+                if (qos)
+                    printQosLine(bws[i].qos);
             }
         }
         return 0;
@@ -518,13 +586,16 @@ runCli(const CliConfig &cfg)
             PointResult p;
             p.value = runRandBandwidth(cfg.target, cfg.op,
                                        points[i].threads,
-                                       points[i].block, opts, &p.ras);
+                                       points[i].block, opts, &p.ras,
+                                       &p.qos);
             return p;
         });
         if (cfg.csv) {
             std::printf("target,op,block,threads,gbps");
             if (ras)
                 printRasCsvHeader();
+            if (qos)
+                printQosCsvHeader();
             std::printf("\n");
         }
         for (std::size_t i = 0; i < points.size(); ++i) {
@@ -535,6 +606,8 @@ runCli(const CliConfig &cfg)
                             points[i].threads, bws[i].value);
                 if (ras)
                     printRasCsvCells(bws[i].ras);
+                if (qos)
+                    printQosCsvCells(bws[i].qos);
                 std::printf("\n");
             } else {
                 std::printf("%s %s rand %6lluB blocks, %2u "
@@ -544,6 +617,8 @@ runCli(const CliConfig &cfg)
                             points[i].threads, bws[i].value);
                 if (ras)
                     printRasLine(bws[i].ras);
+                if (qos)
+                    printQosLine(bws[i].qos);
             }
         }
         return 0;
@@ -615,6 +690,8 @@ runCli(const CliConfig &cfg)
             if (cfg.csv) {
                 std::printf("target,threads,avg_ns,p50_ns,p99_ns");
                 printRasCsvHeader();
+                if (qos)
+                    printQosCsvHeader();
                 std::printf("\n");
             }
             for (std::size_t i = 0; i < cfg.threads.size(); ++i) {
@@ -625,6 +702,8 @@ runCli(const CliConfig &cfg)
                                 targetName(cfg.target), t, d.avgNs,
                                 d.p50Ns, d.p99Ns);
                     printRasCsvCells(d.ras);
+                    if (qos)
+                        printQosCsvCells(d.qos);
                     std::printf("\n");
                 } else {
                     std::printf("%s loaded latency, %2u threads: "
@@ -632,25 +711,40 @@ runCli(const CliConfig &cfg)
                                 targetName(cfg.target), t, d.avgNs,
                                 d.p50Ns, d.p99Ns);
                     printRasLine(d.ras);
+                    if (qos)
+                        printQosLine(d.qos);
                 }
             }
             return 0;
         }
         const auto lats = pool.map(cfg.threads.size(),
                                    [&](std::size_t i) {
-            return runLoadedLatency(cfg.target, cfg.threads[i], opts);
+            PointResult p;
+            p.value = runLoadedLatency(cfg.target, cfg.threads[i],
+                                       opts, nullptr, &p.qos);
+            return p;
         });
-        if (cfg.csv)
-            std::printf("target,threads,ns\n");
+        if (cfg.csv) {
+            std::printf("target,threads,ns");
+            if (qos)
+                printQosCsvHeader();
+            std::printf("\n");
+        }
         for (std::size_t i = 0; i < cfg.threads.size(); ++i) {
             const std::uint32_t t = cfg.threads[i];
-            if (cfg.csv)
-                std::printf("%s,%u,%.1f\n", targetName(cfg.target), t,
-                            lats[i]);
-            else
+            if (cfg.csv) {
+                std::printf("%s,%u,%.1f", targetName(cfg.target), t,
+                            lats[i].value);
+                if (qos)
+                    printQosCsvCells(lats[i].qos);
+                std::printf("\n");
+            } else {
                 std::printf("%s loaded latency, %2u threads: %7.1f "
                             "ns\n",
-                            targetName(cfg.target), t, lats[i]);
+                            targetName(cfg.target), t, lats[i].value);
+                if (qos)
+                    printQosLine(lats[i].qos);
+            }
         }
         return 0;
       }

@@ -61,6 +61,11 @@ struct CliConfig
     std::uint64_t seed = 42;
     /** RAS fault injection (`--fault-spec`); disabled by default. */
     FaultSpec faults;
+    /** Overload control (`--qos-spec`); disabled by default. */
+    QosSpec qos;
+    /** Watchdog snapshot interval in microseconds (`--watchdog` /
+     *  `--watchdog-ns`); 0 = no watchdog. */
+    double watchdogUs = 0.0;
 
     /**
      * Host threads for sweep modes (seq/rand/chase/loaded): each sweep

@@ -33,6 +33,21 @@ makeMachine(Target target, bool prefetch, const FaultSpec &faults)
     return std::make_unique<Machine>(tb, opts);
 }
 
+std::unique_ptr<Machine>
+makeMachine(Target target, const Options &opts, bool prefetch)
+{
+    MachineOptions mo;
+    mo.prefetchEnabled = prefetch;
+    mo.faults = opts.faults;
+    mo.qos = opts.qos;
+    if (opts.watchdogUs > 0.0)
+        mo.watchdogInterval = ticksFromUs(opts.watchdogUs);
+    const Testbed tb = target == Target::Ddr5Remote
+                           ? Testbed::DualSocket
+                           : Testbed::SingleSocketCxl;
+    return std::make_unique<Machine>(tb, mo);
+}
+
 NodeId
 targetNode(Machine &m, Target target)
 {
@@ -59,6 +74,9 @@ runStream(Machine &m, std::uint16_t core,
         start = s;
         end = e;
     });
+    // The watchdog stands down when the queue quiesces between
+    // streams; restart its snapshot cycle for this stream's run.
+    m.rearmWatchdog();
     m.eq().run();
     CXLMEMO_ASSERT(thread.finished(), "stream did not finish");
     return {start, end};

@@ -119,7 +119,7 @@ double
 runMovdirBandwidth(CopyPath path, std::uint32_t threads,
                    const Options &opts)
 {
-    auto m = makeMachine(Target::Ddr5Local, opts.prefetch);
+    auto m = makeMachine(Target::Ddr5Local, opts, opts.prefetch);
     CXLMEMO_ASSERT(threads >= 1 && threads <= m->numCores(),
                    "thread count out of range");
     NumaBuffer src = m->numa().alloc(
@@ -156,7 +156,7 @@ runCopyBandwidth(CopyPath path, CopyMethod method, std::uint32_t batch,
                  std::uint64_t blockBytes, const Options &opts)
 {
     CXLMEMO_ASSERT(batch >= 1, "batch must be at least 1");
-    auto m = makeMachine(Target::Ddr5Local, opts.prefetch);
+    auto m = makeMachine(Target::Ddr5Local, opts, opts.prefetch);
     NumaBuffer src = m->numa().alloc(
         copyRegion, MemPolicy::membind(targetNode(*m, srcOf(path))));
     NumaBuffer dst = m->numa().alloc(

@@ -99,7 +99,7 @@ LatencyResult
 runLatency(Target target, const Options &opts, RasStats *rasOut)
 {
     // The paper disables prefetching at all levels for latency tests.
-    auto m = makeMachine(target, /*prefetch=*/false, opts.faults);
+    auto m = makeMachine(target, opts, /*prefetch=*/false);
     const MemPolicy policy = MemPolicy::membind(targetNode(*m, target));
     const std::uint64_t chase_space = 512 * miB;
     NumaBuffer buf = m->numa().alloc(chase_space, policy);
@@ -128,7 +128,7 @@ runPtrChaseWssSweep(Target target,
                     const std::vector<std::uint64_t> &wssBytes,
                     const Options &opts, RasStats *rasOut)
 {
-    auto m = makeMachine(target, /*prefetch=*/false, opts.faults);
+    auto m = makeMachine(target, opts, /*prefetch=*/false);
     const MemPolicy policy = MemPolicy::membind(targetNode(*m, target));
     std::uint64_t max_wss = 0;
     for (std::uint64_t w : wssBytes)

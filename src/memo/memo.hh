@@ -52,6 +52,14 @@ struct Options
     /** RAS fault model for the machine under test (default: none,
      *  bit-identical to the fault-free simulator). */
     FaultSpec faults;
+
+    /** Overload-control model (credits / DevLoad throttle) for the
+     *  CXL path (default: none, bit-identical when disabled). */
+    QosSpec qos;
+
+    /** Forward-progress watchdog snapshot interval in microseconds;
+     *  0 (the default) builds no watchdog. */
+    double watchdogUs = 0.0;
 };
 
 /** Results of the instruction-latency probes (Fig. 2, bars). */
@@ -89,7 +97,8 @@ std::vector<double> runPtrChaseWssSweep(Target target,
  */
 double runSeqBandwidth(Target target, MemOp::Kind kind,
                        std::uint32_t threads, const Options &opts = {},
-                       RasStats *rasOut = nullptr);
+                       RasStats *rasOut = nullptr,
+                       QosStats *qosOut = nullptr);
 
 /**
  * Aggregate random-block bandwidth (GB/s): each thread touches
@@ -99,12 +108,14 @@ double runSeqBandwidth(Target target, MemOp::Kind kind,
 double runRandBandwidth(Target target, MemOp::Kind kind,
                         std::uint32_t threads, std::uint64_t blockBytes,
                         const Options &opts = {},
-                        RasStats *rasOut = nullptr);
+                        RasStats *rasOut = nullptr,
+                        QosStats *qosOut = nullptr);
 
 /** Loaded-latency companion (not a paper figure; used by tests). */
 double runLoadedLatency(Target target, std::uint32_t threads,
                         const Options &opts = {},
-                        RasStats *rasOut = nullptr);
+                        RasStats *rasOut = nullptr,
+                        QosStats *qosOut = nullptr);
 
 /** Latency distribution of a loaded dependent-load probe. */
 struct LoadedLatencyDist
@@ -113,6 +124,7 @@ struct LoadedLatencyDist
     double p50Ns = 0.0;
     double p99Ns = 0.0;
     RasStats ras; //!< machine RAS counters (zero when faults are off)
+    QosStats qos; //!< overload counters (zero when QoS is off)
 };
 
 /**
@@ -125,6 +137,30 @@ struct LoadedLatencyDist
 LoadedLatencyDist runLoadedLatencyDist(Target target,
                                        std::uint32_t threads,
                                        const Options &opts = {});
+
+/* -------------------------- overload ----------------------------- */
+
+/** One point of the overload sweep (bench_overload). */
+struct OverloadResult
+{
+    double offeredGBps = 0.0;  //!< unthrottled nt-store issue capacity
+    double achievedGBps = 0.0; //!< measured aggregate flood bandwidth
+    double probeP99Ns = 0.0;   //!< p99 of a concurrent dependent-load probe
+    QosStats qos;              //!< overload counters (zero when QoS off)
+    bool watchdogTripped = false;
+};
+
+/**
+ * Flood the CXL device with @p threads endless non-temporal store
+ * streams (the paper's Sec. 4.3.2 overload), measure the achieved
+ * aggregate bandwidth over the measurement window, then sample a
+ * dependent-load probe's latency distribution under the standing
+ * flood. Offered load is the unthrottled issue capacity
+ * (threads x line / ntIssueCost), so offered/achieved quantifies the
+ * overload cliff -- and what a QoS policy recovers of it.
+ */
+OverloadResult runOverloadPoint(std::uint32_t threads,
+                                const Options &opts = {});
 
 /* ------------------------- data movement ------------------------- *
  * Fig. 4: moving data between local DDR5 ("D") and CXL memory ("C").
@@ -176,6 +212,12 @@ double runCopyBandwidth(CopyPath path, CopyMethod method,
 /** Build the machine that hosts @p target. */
 std::unique_ptr<Machine> makeMachine(Target target, bool prefetch,
                                      const FaultSpec &faults = {});
+
+/** Build the machine that hosts @p target with the full option set
+ *  (faults, QoS, watchdog); @p prefetch overrides opts.prefetch for
+ *  probes that always run with prefetching off. */
+std::unique_ptr<Machine> makeMachine(Target target, const Options &opts,
+                                     bool prefetch);
 
 /** The NUMA node id of @p target on @p machine. */
 NodeId targetNode(Machine &m, Target target);

@@ -88,7 +88,11 @@ class SampleSeries
     double
     percentile(double p) const
     {
-        CXLMEMO_ASSERT(!samples_.empty(), "percentile of empty series");
+        // An empty series reports 0 rather than asserting: stats and
+        // CSV emitters run unconditionally, including for runs that
+        // retired no requests at all.
+        if (samples_.empty())
+            return 0.0;
         CXLMEMO_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
         std::vector<double> sorted = samples_;
         std::sort(sorted.begin(), sorted.end());
@@ -107,7 +111,8 @@ class SampleSeries
     double
     max() const
     {
-        CXLMEMO_ASSERT(!samples_.empty(), "max of empty series");
+        if (samples_.empty())
+            return 0.0;
         return *std::max_element(samples_.begin(), samples_.end());
     }
 

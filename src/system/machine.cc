@@ -214,7 +214,8 @@ Machine::Machine(Testbed testbed, MachineOptions opts) : testbed_(testbed)
     if (with_cxl) {
         cxl_ = std::make_unique<CxlMemDevice>(
             eq_, opts.cxlDevice ? *opts.cxlDevice : agilexCxlDevice(),
-            faults_.get());
+            faults_.get(), opts.qos);
+        qosSpec_ = opts.qos;
         cxlNode_ = numa_.addNode("cxl-dram", cxl_.get(), 16 * giB,
                                  /*hasCpu=*/false);
         // The flushed-line handshake happens at the host home agent
@@ -228,6 +229,21 @@ Machine::Machine(Testbed testbed, MachineOptions opts) : testbed_(testbed)
     caches_ = std::make_unique<CacheHierarchy>(eq_, numa_, h);
     if (faults_)
         caches_->setFaultInjector(faults_.get());
+    if (cxl_ && qosSpec_.policy != QosPolicy::None) {
+        throttle_ = std::make_unique<HostThrottle>(qosSpec_, cores);
+        cxl_->setHostThrottle(throttle_.get());
+        caches_->setQosThrottle(throttle_.get(), cxlNode_);
+    }
+    if (opts.watchdogInterval > 0) {
+        WatchdogParams wp;
+        wp.interval = opts.watchdogInterval;
+        watchdog_ = std::make_unique<Watchdog>(eq_, wp);
+        if (cxl_) {
+            cxl_->enableProgressTracking();
+            watchdog_->watch(cxl_.get());
+        }
+        watchdog_->arm();
+    }
     dsa_ = std::make_unique<Dsa>(eq_, numa_, DsaParams{});
     coreParams_ = sprCore();
 }
@@ -277,6 +293,20 @@ Machine::resetStats()
         cxl_->resetStats();
     if (faults_)
         faults_->stats().reset();
+    if (throttle_)
+        throttle_->resetStats();
+}
+
+std::optional<QosStats>
+Machine::qosStats() const
+{
+    if (!cxl_ || !qosSpec_.enabled())
+        return std::nullopt;
+    QosStats qs;
+    cxl_->fillQosStats(qs);
+    if (throttle_)
+        throttle_->fillStats(qs);
+    return qs;
 }
 
 std::string
@@ -316,6 +346,27 @@ Machine::statsString() const
                << cxl_->downDegradeLevel() << ", S2M "
                << cxl_->upDegradeLevel() << "\n";
         }
+    }
+    if (auto qs = qosStats()) {
+        os << "  qos: " << qs->summary() << "\n";
+        bool any = false;
+        for (std::uint32_t c = 0; c < numCores(); ++c) {
+            const std::uint64_t t = cxl_->creditStallTicks(
+                static_cast<std::uint16_t>(c));
+            if (t == 0)
+                continue;
+            if (!any)
+                os << "    credit-stall ns by core:";
+            os << " c" << c << "=" << t / tickPerNs;
+            any = true;
+        }
+        if (any)
+            os << "\n";
+    }
+    if (watchdog_) {
+        os << "  watchdog: snapshots " << watchdog_->snapshots()
+           << ", tripped " << (watchdog_->tripped() ? "yes" : "no")
+           << "\n";
     }
     if (faults_)
         os << "  ras: " << faults_->stats().summary() << "\n";

@@ -22,6 +22,8 @@
 #include "numa/numa.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
+#include "sim/qos.hh"
+#include "sim/watchdog.hh"
 
 namespace cxlmemo
 {
@@ -59,6 +61,16 @@ struct MachineOptions
      *  healthy machine with no injector at all, guaranteeing
      *  bit-identical behaviour to a build without the RAS layer. */
     FaultSpec faults;
+
+    /** Overload-control model on the CXL path: M2S credit pools,
+     *  DevLoad telemetry and the host throttle. The default
+     *  (disabled) spec builds no pools, no meter and no throttle --
+     *  bit-identical to a machine without the QoS layer. */
+    QosSpec qos;
+
+    /** Forward-progress watchdog snapshot interval; 0 (the default)
+     *  builds no watchdog and schedules no events. */
+    Tick watchdogInterval = 0;
 };
 
 /**
@@ -104,6 +116,27 @@ class Machine
         return faults_ ? &faults_->stats() : nullptr;
     }
 
+    /** The QoS configuration this machine was built with. */
+    const QosSpec &qosSpec() const { return qosSpec_; }
+
+    /** Overload-control counters, or nullopt when QoS is disabled. */
+    std::optional<QosStats> qosStats() const;
+
+    /** Host throttle (nullptr unless a reaction policy is active). */
+    HostThrottle *hostThrottle() { return throttle_.get(); }
+
+    /** Forward-progress watchdog (nullptr when disabled). */
+    Watchdog *watchdog() { return watchdog_.get(); }
+
+    /** Restart the watchdog snapshot cycle; call before pushing new
+     *  work after the event queue quiesced (no-op when disabled). */
+    void
+    rearmWatchdog()
+    {
+        if (watchdog_)
+            watchdog_->arm();
+    }
+
     /** Create a thread pinned to @p core with this machine's core
      *  parameters. */
     std::unique_ptr<HwThread> makeThread(std::uint16_t core);
@@ -134,6 +167,9 @@ class Machine
     std::unique_ptr<CxlMemDevice> cxl_;
     std::unique_ptr<CacheHierarchy> caches_;
     std::unique_ptr<Dsa> dsa_;
+    QosSpec qosSpec_;
+    std::unique_ptr<HostThrottle> throttle_;
+    std::unique_ptr<Watchdog> watchdog_;
     CoreParams coreParams_;
 
     NodeId localNode_ = 0;
