@@ -15,6 +15,7 @@
 #include "cpu/streams.hh"
 #include "mem/dram.hh"
 #include "sim/event_queue.hh"
+#include "sim/histogram.hh"
 #include "sim/rng.hh"
 #include "system/machine.hh"
 
@@ -248,6 +249,70 @@ BM_EndToEndSequentialLoads(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * (8 * miB / 64));
 }
 BENCHMARK(BM_EndToEndSequentialLoads);
+
+/* --------------------- flight-recorder overhead ------------------ */
+
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    LatencyHistogram h;
+    Rng rng(5);
+    for (auto _ : state) {
+        h.record(100 + rng.below(1u << 20));
+        benchmark::ClobberMemory();
+    }
+    benchmark::DoNotOptimize(h);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void
+BM_HistogramMerge(benchmark::State &state)
+{
+    LatencyHistogram a, b;
+    Rng rng(6);
+    for (int i = 0; i < 100000; ++i) {
+        a.record(rng.below(1u << 24));
+        b.record(rng.below(1u << 24));
+    }
+    for (auto _ : state) {
+        LatencyHistogram m = a;
+        m.merge(b);
+        benchmark::DoNotOptimize(m.count());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramMerge);
+
+/**
+ * The acceptance bar for tracing: with --trace-sample 1/64 the
+ * end-to-end run must stay within a few percent of the untraced
+ * baseline (compare against BM_EndToEndSequentialLoads; arg 0 runs
+ * the same machine with tracing off through the same code path).
+ */
+void
+BM_EndToEndTracedLoads(benchmark::State &state)
+{
+    const auto sample = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        MachineOptions mo;
+        mo.obs.traceSampleEvery = sample;
+        Machine m(Testbed::SingleSocketCxl, mo);
+        NumaBuffer buf = m.numa().alloc(
+            64 * miB, MemPolicy::membind(m.localNode()));
+        auto t = m.makeThread(0);
+        state.ResumeTiming();
+
+        t->start(std::make_unique<SequentialStream>(
+                     buf, 0, 64 * miB, 8 * miB, MemOp::Kind::Load),
+                 0, nullptr);
+        m.eq().run();
+        benchmark::DoNotOptimize(t->stats().loads);
+    }
+    state.SetItemsProcessed(state.iterations() * (8 * miB / 64));
+}
+BENCHMARK(BM_EndToEndTracedLoads)->Arg(0)->Arg(64)->Arg(1);
 
 } // namespace
 

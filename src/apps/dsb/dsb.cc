@@ -105,7 +105,7 @@ SocialNetwork::SocialNetwork(Machine &machine, DsbParams params,
                    "stage workers exceed core count");
 }
 
-const SampleSeries &
+const LatencyHistogram &
 SocialNetwork::latency(RequestType type) const
 {
     switch (type) {
@@ -284,8 +284,8 @@ SocialNetwork::composePost(Tick arrival)
                     appendCompute(ca, params_.cacheCompute);
                     cache_->submit(std::move(ca),
                                    [this, arrival](Tick end) {
-                        composeLat_.record(
-                            nsFromTicks(end - arrival));
+                        composeLat_.record((end - arrival)
+                                           / tickPerNs);
                     });
                 });
             });
@@ -317,7 +317,7 @@ SocialNetwork::readUserTimeline(Tick arrival)
                 appendCompute(st, params_.storageCompute);
                 storage_->submit(std::move(st),
                                  [this, arrival](Tick end) {
-                    readUserLat_.record(nsFromTicks(end - arrival));
+                    readUserLat_.record((end - arrival) / tickPerNs);
                 });
             });
         });
@@ -338,7 +338,7 @@ SocialNetwork::readHomeTimeline(Tick arrival)
                       params_.timelineBytes, /*depLines=*/3);
         appendCompute(ca, params_.cacheCompute);
         cache_->submit(std::move(ca), [this, arrival](Tick end) {
-            readHomeLat_.record(nsFromTicks(end - arrival));
+            readHomeLat_.record((end - arrival) / tickPerNs);
         });
     });
 }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cpu/core.hh"
+#include "sim/histogram.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "system/machine.hh"
@@ -121,7 +122,7 @@ class SocialNetwork
     /** Inject one request; latency recorded at completion. */
     void submit(RequestType type);
 
-    const SampleSeries &latency(RequestType type) const;
+    const LatencyHistogram &latency(RequestType type) const;
     void resetLatencies();
 
     /** Component -> resident bytes (Fig. 10's memory breakdown). */
@@ -153,9 +154,9 @@ class SocialNetwork
     std::unique_ptr<Stage> cache_;
 
     mutable Rng rng_;
-    SampleSeries composeLat_;
-    SampleSeries readUserLat_;
-    SampleSeries readHomeLat_;
+    LatencyHistogram composeLat_;
+    LatencyHistogram readUserLat_;
+    LatencyHistogram readHomeLat_;
 };
 
 /** One load point of Fig. 10. */

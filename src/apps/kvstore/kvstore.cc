@@ -145,7 +145,7 @@ KvServer::serveNext()
     thread_.start(
         std::make_unique<ListStream>(std::move(ops)), start,
         [this, arrival, op = req.op](Tick, Tick end) {
-            const double sojourn_ns = nsFromTicks(end - arrival);
+            const std::uint64_t sojourn_ns = (end - arrival) / tickPerNs;
             if (op == YcsbOp::Read)
                 readLat_.record(sojourn_ns);
             else

@@ -24,6 +24,7 @@
 
 #include "apps/kvstore/ycsb.hh"
 #include "cpu/core.hh"
+#include "sim/histogram.hh"
 #include "sim/stats.hh"
 #include "system/machine.hh"
 
@@ -109,9 +110,9 @@ class KvServer
     std::uint64_t completed() const { return completed_; }
     std::size_t queueDepth() const { return queue_.size(); }
 
-    /** Per-class service+sojourn latency (ns). */
-    const SampleSeries &readLatency() const { return readLat_; }
-    const SampleSeries &updateLatency() const { return updateLat_; }
+    /** Per-class service+sojourn latency histogram (ns). */
+    const LatencyHistogram &readLatency() const { return readLat_; }
+    const LatencyHistogram &updateLatency() const { return updateLat_; }
 
     /** Drop recorded latencies (after cache warm-up). */
     void
@@ -130,8 +131,8 @@ class KvServer
     std::deque<std::pair<YcsbRequest, Tick>> queue_;
     bool busy_ = false;
     std::uint64_t completed_ = 0;
-    SampleSeries readLat_;
-    SampleSeries updateLat_;
+    LatencyHistogram readLat_;
+    LatencyHistogram updateLat_;
     std::vector<MemOp> scratch_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/trace.hh"
+
 namespace cxlmemo
 {
 
@@ -144,13 +146,14 @@ CacheHierarchy::fillLlc(std::uint16_t core, std::uint64_t la, LineState st,
 
 void
 CacheHierarchy::missToMemory(std::uint16_t core, std::uint64_t la,
-                             Tick dispatch, bool rfo, Done cb)
+                             Tick dispatch, bool rfo, Done cb,
+                             TraceSpan *span)
 {
     if (!recentlyFlushed_.empty() && recentlyFlushed_.erase(la) > 0
         && numa_.node(nodeOfPaddr(paddrOfLine(la))).flushHandshake) {
         dispatch += params_.flushHandshakePenalty;
     }
-    eq_.schedule(dispatch, [this, core, la, rfo,
+    eq_.schedule(dispatch, [this, core, la, rfo, span,
                             cb = std::move(cb)]() mutable {
         Addr local = 0;
         MemoryDevice &dev = numa_.route(paddrOfLine(la), local);
@@ -159,6 +162,7 @@ CacheHierarchy::missToMemory(std::uint16_t core, std::uint64_t la,
         req.size = cachelineBytes;
         req.cmd = MemCmd::Read;
         req.source = core;
+        req.span = span;
         req.onComplete = [this, core, la, rfo,
                           cb = std::move(cb)](Tick t) {
             // The memory device arms poison on the response just
@@ -262,9 +266,11 @@ CacheHierarchy::observeForPrefetch(std::uint16_t core, std::uint64_t la,
 }
 
 std::optional<Tick>
-CacheHierarchy::load(std::uint16_t core, Addr paddr, Tick at, Done cb)
+CacheHierarchy::load(std::uint16_t core, Addr paddr, Tick at, Done cb,
+                     TraceSpan *span)
 {
     at += tlbCharge(core, paddr);
+    RequestTracer::mark(span, TraceStage::Cache, at);
     const std::uint64_t la = lineOf(paddr);
     SetAssocCache &l1 = l1_[core];
     SetAssocCache &l2 = l2_[core];
@@ -310,14 +316,16 @@ CacheHierarchy::load(std::uint16_t core, Addr paddr, Tick at, Done cb)
     llc_->stats().misses++;
 
     missToMemory(core, la, at + lat + params_.uncoreLatency, false,
-                 std::move(cb));
+                 std::move(cb), span);
     return std::nullopt;
 }
 
 std::optional<Tick>
-CacheHierarchy::store(std::uint16_t core, Addr paddr, Tick at, Done cb)
+CacheHierarchy::store(std::uint16_t core, Addr paddr, Tick at, Done cb,
+                      TraceSpan *span)
 {
     at += tlbCharge(core, paddr);
+    RequestTracer::mark(span, TraceStage::Cache, at);
     const std::uint64_t la = lineOf(paddr);
     SetAssocCache &l1 = l1_[core];
     SetAssocCache &l2 = l2_[core];
@@ -356,13 +364,13 @@ CacheHierarchy::store(std::uint16_t core, Addr paddr, Tick at, Done cb)
     // store can retire -- the behaviour the paper highlights as the
     // cause of poor temporal-store throughput on CXL.
     missToMemory(core, la, at + lat + params_.uncoreLatency, true,
-                 std::move(cb));
+                 std::move(cb), span);
     return std::nullopt;
 }
 
 void
 CacheHierarchy::ntStore(std::uint16_t core, Addr paddr, Tick at,
-                        Done onAccept, Done onDrained)
+                        Done onAccept, Done onDrained, TraceSpan *span)
 {
     at += tlbCharge(core, paddr);
     const std::uint64_t la = lineOf(paddr);
@@ -376,7 +384,7 @@ CacheHierarchy::ntStore(std::uint16_t core, Addr paddr, Tick at,
     const Tick dispatch =
         at + params_.ntDispatchLatency + params_.uncoreLatency;
     eq_.schedule(dispatch,
-                 [this, core, la, onAccept = std::move(onAccept),
+                 [this, core, la, span, onAccept = std::move(onAccept),
                   onDrained = std::move(onDrained)]() mutable {
         Addr local = 0;
         MemoryDevice &dev = numa_.route(paddrOfLine(la), local);
@@ -385,6 +393,7 @@ CacheHierarchy::ntStore(std::uint16_t core, Addr paddr, Tick at,
         req.size = cachelineBytes;
         req.cmd = MemCmd::NtWrite;
         req.source = core;
+        req.span = span;
         req.onAccept = std::move(onAccept);
         req.onComplete = std::move(onDrained);
         dev.access(std::move(req));

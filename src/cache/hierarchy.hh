@@ -34,6 +34,9 @@
 namespace cxlmemo
 {
 
+class RequestTracer;
+struct TraceSpan;
+
 /** Geometry and timing of the whole hierarchy. */
 struct HierarchyParams
 {
@@ -105,13 +108,15 @@ class CacheHierarchy
 
     CacheHierarchy(EventQueue &eq, NumaSpace &numa, HierarchyParams params);
 
-    /** Demand load of one cacheline. */
+    /** Demand load of one cacheline. @p span is the optional tracing
+     *  span of the access (null = untraced; attached to the memory
+     *  request on a miss). */
     std::optional<Tick> load(std::uint16_t core, Addr paddr, Tick at,
-                             Done cb);
+                             Done cb, TraceSpan *span = nullptr);
 
     /** Temporal store (write-allocate, RFO on miss). */
     std::optional<Tick> store(std::uint16_t core, Addr paddr, Tick at,
-                              Done cb);
+                              Done cb, TraceSpan *span = nullptr);
 
     /**
      * Full-line non-temporal store: invalidates any cached copy and
@@ -123,7 +128,7 @@ class CacheHierarchy
      *                  waits for: iMC drain, or the CXL S2M NDR)
      */
     void ntStore(std::uint16_t core, Addr paddr, Tick at, Done onAccept,
-                 Done onDrained);
+                 Done onDrained, TraceSpan *span = nullptr);
 
     /** Cache-bypassing read (movdir64B source side); no fill. */
     void uncachedRead(std::uint16_t core, Addr paddr, std::uint32_t size,
@@ -167,6 +172,13 @@ class CacheHierarchy
 
     /** Wire up fault injection (poison tracking); nullptr disables. */
     void setFaultInjector(FaultInjector *f) { faults_ = f; }
+
+    /** Wire up request-lifecycle tracing; nullptr disables (the
+     *  default: cores never open spans, devices see null spans). */
+    void setTracer(RequestTracer *t) { tracer_ = t; }
+
+    /** The tracer cores sample spans from (nullptr = tracing off). */
+    RequestTracer *tracer() const { return tracer_; }
 
     /**
      * Wire up the host bridge's QoS throttle: issues targeting
@@ -235,7 +247,7 @@ class CacheHierarchy
 
     /** Fetch a line from memory and fill the hierarchy. */
     void missToMemory(std::uint16_t core, std::uint64_t la, Tick dispatch,
-                      bool rfo, Done cb);
+                      bool rfo, Done cb, TraceSpan *span = nullptr);
 
     /** Fire-and-forget dirty eviction to the line's home device. */
     void writebackLine(std::uint64_t la, std::uint16_t source, Tick at,
@@ -289,6 +301,8 @@ class CacheHierarchy
 
     HostThrottle *qosThrottle_ = nullptr;
     NodeId qosNode_ = 0;
+
+    RequestTracer *tracer_ = nullptr;
 
     FaultInjector *faults_ = nullptr;
     /** Cached lines whose data carries poison from a faulty read. */

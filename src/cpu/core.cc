@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace cxlmemo
 {
@@ -36,7 +37,32 @@ HwThread::start(std::unique_ptr<AccessStream> stream, Tick startTick,
     finished_ = false;
     streamDone_ = false;
     havePending_ = false;
+    pendingBlocked_ = false;
     eq_.schedule(startTick, [this] { tryIssue(); });
+}
+
+TraceSpan *
+HwThread::beginSpan(MemCmd cmd, Addr paddr)
+{
+    // The span starts when the op first *wanted* to issue: a request
+    // that waited for a fill buffer begins with an LfbWait stage, so
+    // the trace shows core-side MLP limits, not just memory time.
+    Tick t0 = localTime_;
+    if (pendingBlocked_) {
+        pendingBlocked_ = false;
+        stats_.resourceStallTicks += localTime_ - pendingBlockedSince_;
+        t0 = pendingBlockedSince_;
+    }
+    RequestTracer *tr = hier_.tracer();
+    if (!tr)
+        return nullptr;
+    TraceSpan *span = tr->maybeStart(core_, cmd, paddr, t0);
+    if (span) {
+        if (t0 < localTime_)
+            RequestTracer::mark(span, TraceStage::LfbWait, t0);
+        RequestTracer::mark(span, TraceStage::Issue, localTime_);
+    }
+    return span;
 }
 
 void
@@ -70,6 +96,7 @@ HwThread::tryIssue()
                 return;
             }
             havePending_ = true;
+            pendingBlocked_ = false;
         }
 
         const MemOp &op = pending_;
@@ -100,26 +127,33 @@ HwThread::tryIssue()
           case MemOp::Kind::DependentLoad: {
             if (op.kind == MemOp::Kind::DependentLoad) {
                 // The address depends on the previous load's data.
-                if (outstandingLoads_ > 0)
+                if (outstandingLoads_ > 0) {
+                    noteBlocked();
                     return;
+                }
                 localTime_ = std::max(localTime_, lastValueReady_);
             }
-            if (outstandingLoads_ >= params_.loadFillBuffers)
+            if (outstandingLoads_ >= params_.loadFillBuffers) {
+                noteBlocked();
                 return;
+            }
+            TraceSpan *span = beginSpan(MemCmd::Read, op.paddr);
             localTime_ += params_.issueCost;
             const bool dependent = op.kind == MemOp::Kind::DependentLoad;
             stats_.loads++;
             stats_.bytesRead += cachelineBytes;
             auto done = hier_.load(core_, op.paddr, localTime_,
-                                   [this](Tick t) {
+                                   [this, span](Tick t) {
                 CXLMEMO_ASSERT(outstandingLoads_ > 0, "load underflow");
                 --outstandingLoads_;
                 if (hier_.takeDeliveryPoison())
                     stats_.poisonedLoads++;
                 lastCompletion_ = std::max(lastCompletion_, t);
                 lastValueReady_ = std::max(lastValueReady_, t);
+                if (span)
+                    hier_.tracer()->finish(span, t);
                 tryIssue();
-            });
+            }, span);
             if (done) {
                 if (hier_.takeDeliveryPoison())
                     stats_.poisonedLoads++;
@@ -127,6 +161,8 @@ HwThread::tryIssue()
                 lastValueReady_ = std::max(lastValueReady_, *done);
                 if (dependent)
                     localTime_ = std::max(localTime_, *done);
+                if (span)
+                    hier_.tracer()->finish(span, *done);
             } else {
                 ++outstandingLoads_;
             }
@@ -135,23 +171,30 @@ HwThread::tryIssue()
           }
 
           case MemOp::Kind::Store: {
-            if (outstandingStores_ >= params_.storeBufferEntries)
+            if (outstandingStores_ >= params_.storeBufferEntries) {
+                noteBlocked();
                 return;
+            }
+            TraceSpan *span = beginSpan(MemCmd::Write, op.paddr);
             localTime_ += params_.issueCost;
             stats_.stores++;
             stats_.bytesWritten += cachelineBytes;
             auto done = hier_.store(core_, op.paddr, localTime_,
-                                    [this](Tick t) {
+                                    [this, span](Tick t) {
                 CXLMEMO_ASSERT(outstandingStores_ > 0, "store underflow");
                 --outstandingStores_;
                 lastCompletion_ = std::max(lastCompletion_, t);
                 lastStoreCompletion_ = std::max(lastStoreCompletion_, t);
+                if (span)
+                    hier_.tracer()->finish(span, t);
                 tryIssue();
-            });
+            }, span);
             if (done) {
                 lastCompletion_ = std::max(lastCompletion_, *done);
                 lastStoreCompletion_ =
                     std::max(lastStoreCompletion_, *done);
+                if (span)
+                    hier_.tracer()->finish(span, *done);
             } else {
                 ++outstandingStores_;
             }
@@ -160,8 +203,11 @@ HwThread::tryIssue()
           }
 
           case MemOp::Kind::NtStore: {
-            if (outstandingNt_ >= params_.wcBuffers)
+            if (outstandingNt_ >= params_.wcBuffers) {
+                noteBlocked();
                 return;
+            }
+            TraceSpan *span = beginSpan(MemCmd::NtWrite, op.paddr);
             localTime_ += params_.ntIssueCost;
             // QoS reaction point: the host throttle paces WC-buffer
             // eviction toward an overloaded device (0 when disabled).
@@ -181,14 +227,17 @@ HwThread::tryIssue()
                     --outstandingNt_;
                     tryIssue();
                 },
-                /*onDrained=*/[this](Tick t) {
+                /*onDrained=*/[this, span](Tick t) {
                     CXLMEMO_ASSERT(pendingNtDrain_ > 0, "drain underflow");
                     --pendingNtDrain_;
                     lastCompletion_ = std::max(lastCompletion_, t);
                     lastStoreCompletion_ =
                         std::max(lastStoreCompletion_, t);
+                    if (span)
+                        hier_.tracer()->finish(span, t);
                     tryIssue();
-                });
+                },
+                span);
             havePending_ = false;
             break;
           }

@@ -108,6 +108,11 @@ struct ThreadStats
     /** Issue-point pacing inserted by the QoS host throttle (0 when
      *  QoS is disabled). */
     std::uint64_t qosThrottleTicks = 0;
+
+    /** Ticks the issue point spent blocked on a core resource (fill
+     *  buffer, store-buffer entry or WC buffer) before the pending op
+     *  could issue: the core-side MLP limit made visible. */
+    std::uint64_t resourceStallTicks = 0;
 };
 
 /**
@@ -143,6 +148,21 @@ class HwThread
   private:
     void tryIssue();
     void maybeFinish();
+
+    /** The pending op cannot issue for lack of a core resource:
+     *  remember when the wait began (first block only). */
+    void
+    noteBlocked()
+    {
+        if (!pendingBlocked_) {
+            pendingBlocked_ = true;
+            pendingBlockedSince_ = localTime_;
+        }
+    }
+
+    /** Open a tracing span for the pending op if it is sampled;
+     *  also retires the blocked-wait accounting. */
+    TraceSpan *beginSpan(MemCmd cmd, Addr paddr);
     std::uint32_t outstandingAll() const
     {
         return outstandingLoads_ + outstandingStores_ + outstandingNt_
@@ -159,6 +179,8 @@ class HwThread
 
     MemOp pending_{};
     bool havePending_ = false;
+    bool pendingBlocked_ = false;
+    Tick pendingBlockedSince_ = 0;
     bool streamDone_ = false;
     bool finished_ = false;
     bool running_ = false;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace cxlmemo
 {
@@ -56,6 +57,14 @@ CxlMemDevice::access(MemRequest req)
 {
     if (instrumented_)
         ++hostInFlight_;
+    if (latHist_) {
+        req.onComplete = [this, t0 = eq_.curTick(),
+                          cb = std::move(req.onComplete)](Tick t) mutable {
+            latHist_->record(t - t0);
+            if (cb)
+                cb(t);
+        };
+    }
     if (req.cmd == MemCmd::NtWrite) {
         if (ntPosted_ < params_.hostPostedEntries) {
             admitPosted(std::move(req));
@@ -102,6 +111,8 @@ CxlMemDevice::dispatch(MemRequest req)
             // Out of credits for this message class: the sender stalls
             // locally. tryAcquire() counted the stall; the waited time
             // is accounted when the freeing response wakes us.
+            RequestTracer::mark(req.span, TraceStage::CxlCredit,
+                                eq_.curTick());
             auto &wait = isWrite(req.cmd) ? wrCreditWait_ : rdCreditWait_;
             wait.emplace_back(std::move(req), eq_.curTick());
             qosSample();
@@ -203,6 +214,15 @@ CxlMemDevice::dispatchAttempt(MemRequest req, std::uint32_t attempt)
 
     if (faults_) {
         const FaultSpec &fs = faults_->spec();
+        // Note: when the budget is exhausted, requestTimedOut() is
+        // *not* consulted (short-circuit), so the RNG stream -- and
+        // with it every injected-fault sequence -- is unchanged.
+        if (attempt >= fs.maxHostRetries) {
+            CXLMEMO_WARN_ONCE(
+                "%s: host retry budget (%u) exhausted; delivering "
+                "without timeout protection", params_.name.c_str(),
+                fs.maxHostRetries);
+        }
         if (attempt < fs.maxHostRetries && faults_->requestTimedOut()) {
             // The attempt goes out on the wire but the controller never
             // answers: the host burns the link capacity, waits out its
@@ -224,6 +244,7 @@ CxlMemDevice::dispatchAttempt(MemRequest req, std::uint32_t attempt)
         }
     }
 
+    RequestTracer::mark(req.span, TraceStage::CxlM2s, eq_.curTick());
     const Tick delivered = down_.transmit(cost);
     const Tick at_controller = delivered + params_.controllerIngress;
     eq_.schedule(at_controller, [this, write, r = std::move(req)]() mutable {
@@ -237,6 +258,7 @@ CxlMemDevice::dispatchAttempt(MemRequest req, std::uint32_t attempt)
 void
 CxlMemDevice::readArrived(MemRequest req)
 {
+    RequestTracer::mark(req.span, TraceStage::CxlIngress, eq_.curTick());
     if (readsInFlight_ < params_.readQueueEntries) {
         admitRead(std::move(req));
     } else {
@@ -249,6 +271,7 @@ CxlMemDevice::readArrived(MemRequest req)
 void
 CxlMemDevice::writeArrived(MemRequest req)
 {
+    RequestTracer::mark(req.span, TraceStage::CxlIngress, eq_.curTick());
     if (writesBuffered_ < params_.writeBufferEntries) {
         admitWrite(std::move(req));
     } else {
@@ -266,8 +289,10 @@ CxlMemDevice::admitRead(MemRequest req)
     backend_req.addr = req.addr;
     backend_req.size = req.size;
     backend_req.cmd = req.cmd;
+    backend_req.span = req.span;
     backend_req.onComplete =
-        [this, cb = std::move(req.onComplete)](Tick) mutable {
+        [this, span = req.span, addr = req.addr,
+         cb = std::move(req.onComplete)](Tick) mutable {
             // Data is back from DDR4: free the tracker, then pipe the
             // response through the egress pipeline and the S2M link.
             CXLMEMO_ASSERT(readsInFlight_ > 0, "read tracker underflow");
@@ -284,16 +309,20 @@ CxlMemDevice::admitRead(MemRequest req)
             if (poisoned)
                 faults_->stats().poisonInjected++;
             qosSample();
+            RequestTracer::mark(span, TraceStage::CxlEgress,
+                                eq_.curTick());
             eq_.scheduleIn(params_.controllerEgress,
-                           [this, poisoned,
+                           [this, poisoned, span, addr,
                             cb = std::move(cb)]() mutable {
+                RequestTracer::mark(span, TraceStage::CxlS2m,
+                                    eq_.curTick());
                 const Tick arrive = up_.transmit(params_.link.dataBytes);
                 // The S2M DRS delivery also carries the read-class
                 // credit and the DevLoad field back to the host, so
                 // instrumented devices need the event even for
                 // fire-and-forget reads.
                 if (cb || poisoned || instrumented_) {
-                    eq_.schedule(arrive, [this, poisoned,
+                    eq_.schedule(arrive, [this, poisoned, addr,
                                           cb = std::move(cb),
                                           arrive]() mutable {
                         noteResponse(/*write=*/false, arrive);
@@ -303,8 +332,14 @@ CxlMemDevice::admitRead(MemRequest req)
                             cb(arrive);
                         // Anything not absorbed by the cache hierarchy
                         // reached a non-caching consumer.
-                        if (poisoned && faults_->consumePoison())
+                        if (poisoned && faults_->consumePoison()) {
                             faults_->stats().poisonDelivered++;
+                            CXLMEMO_WARN_RATELIMITED(8,
+                                "%s: poisoned line delivered to "
+                                "non-caching consumer (addr 0x%llx)",
+                                params_.name.c_str(),
+                                static_cast<unsigned long long>(addr));
+                        }
                     });
                 }
             });
@@ -322,6 +357,9 @@ CxlMemDevice::admitWrite(MemRequest req)
     // CXL.mem acknowledges a write (S2M NDR) once the controller has
     // accepted the data; draining to DDR4 happens in the background.
     // The NDR also carries the write-class credit and DevLoad field.
+    // (The background drain is a fresh request with no span: the
+    // traced lifecycle ends at the acknowledgement the host observes.)
+    RequestTracer::mark(req.span, TraceStage::CxlS2m, eq_.curTick());
     const Tick arrive = up_.transmit(params_.link.headerBytes);
     if (req.onComplete || instrumented_) {
         eq_.schedule(arrive, [this, cb = std::move(req.onComplete),
@@ -481,6 +519,8 @@ CxlMemDevice::resetStats()
     up_.resetStats();
     ctrlStats_.reset();
     std::fill(sourceCreditStall_.begin(), sourceCreditStall_.end(), 0);
+    if (latHist_)
+        latHist_->reset();
 }
 
 } // namespace cxlmemo

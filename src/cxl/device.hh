@@ -33,6 +33,7 @@
 #include "mem/dram.hh"
 #include "mem/request.hh"
 #include "sim/event_queue.hh"
+#include "sim/histogram.hh"
 #include "sim/qos.hh"
 #include "sim/watchdog.hh"
 
@@ -196,6 +197,21 @@ class CxlMemDevice : public MemoryDevice, public ProgressSource
      *  when a watchdog actually supervises this device). */
     void enableProgressTracking() { instrumented_ = true; }
 
+    /** Record end-to-end access latency (ticks) into a log-bucket
+     *  histogram; off by default (no wrapper on the hot path). */
+    void
+    enableLatencyHistogram()
+    {
+        if (!latHist_)
+            latHist_ = std::make_unique<LatencyHistogram>();
+    }
+
+    /** The access-latency histogram (nullptr unless enabled). */
+    const LatencyHistogram *latencyHistogram() const
+    {
+        return latHist_.get();
+    }
+
     /** M2S credit pools (nullptr when credits are disabled). */
     const LinkCredits *credits() const { return down_.credits(); }
 
@@ -311,6 +327,9 @@ class CxlMemDevice : public MemoryDevice, public ProgressSource
     /* forward-progress accounting (instrumented_ only) */
     std::uint64_t retired_ = 0;
     std::uint64_t hostInFlight_ = 0;
+
+    /* observability (nullptr unless enabled) */
+    std::unique_ptr<LatencyHistogram> latHist_;
 
     CxlControllerStats ctrlStats_;
 };

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace cxlmemo
 {
@@ -26,6 +27,15 @@ UpiRemoteMemory::transmit(Tick &freeAt, std::uint32_t bytes)
 void
 UpiRemoteMemory::access(MemRequest req)
 {
+    if (latHist_) {
+        req.onComplete = [this, t0 = eq_.curTick(),
+                          cb = std::move(req.onComplete)](Tick t) mutable {
+            latHist_->record(t - t0);
+            if (cb)
+                cb(t);
+        };
+    }
+    RequestTracer::mark(req.span, TraceStage::Upi, eq_.curTick());
     const bool write = isWrite(req.cmd);
     const std::uint32_t down_bytes =
         params_.headerBytes + (write ? req.size : 0);
@@ -37,6 +47,7 @@ UpiRemoteMemory::access(MemRequest req)
         remote.addr = r.addr;
         remote.size = r.size;
         remote.cmd = r.cmd;
+        remote.span = r.span;
         // Posted-acceptance (NT stores) is signalled by the remote
         // channel's gate once the write arrives there.
         remote.onAccept = std::move(r.onAccept);
@@ -61,6 +72,8 @@ UpiRemoteMemory::resetStats()
     memory_->resetStats();
     bytesDown_ = 0;
     bytesUp_ = 0;
+    if (latHist_)
+        latHist_->reset();
 }
 
 } // namespace cxlmemo

@@ -19,6 +19,7 @@
 #include "mem/dram.hh"
 #include "mem/request.hh"
 #include "sim/event_queue.hh"
+#include "sim/histogram.hh"
 
 namespace cxlmemo
 {
@@ -61,6 +62,21 @@ class UpiRemoteMemory : public MemoryDevice
     std::uint64_t bytesDown() const { return bytesDown_; }
     std::uint64_t bytesUp() const { return bytesUp_; }
 
+    /** Record end-to-end access latency (ticks) into a log-bucket
+     *  histogram; off by default (no wrapper on the hot path). */
+    void
+    enableLatencyHistogram()
+    {
+        if (!latHist_)
+            latHist_ = std::make_unique<LatencyHistogram>();
+    }
+
+    /** The access-latency histogram (nullptr unless enabled). */
+    const LatencyHistogram *latencyHistogram() const
+    {
+        return latHist_.get();
+    }
+
   private:
     Tick transmit(Tick &freeAt, std::uint32_t bytes);
 
@@ -71,6 +87,7 @@ class UpiRemoteMemory : public MemoryDevice
     Tick upFreeAt_ = 0;
     std::uint64_t bytesDown_ = 0;
     std::uint64_t bytesUp_ = 0;
+    std::unique_ptr<LatencyHistogram> latHist_;
 };
 
 } // namespace cxlmemo

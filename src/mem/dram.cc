@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace cxlmemo
 {
@@ -80,6 +81,7 @@ void
 DramChannel::access(MemRequest req)
 {
     CXLMEMO_ASSERT(req.size > 0, "zero-size access");
+    RequestTracer::mark(req.span, TraceStage::Dram, eq_.curTick());
     // Transient channel stall (refresh storm, thermal throttle,
     // ECC-scrub collision): the request is held at the controller
     // front end for the episode before being admitted. Drawn at most
@@ -275,7 +277,7 @@ InterleavedMemory::InterleavedMemory(EventQueue &eq, const std::string &name,
                                      std::uint32_t numChannels,
                                      std::uint64_t interleaveBytes,
                                      FaultInjector *faults)
-    : name_(name), interleaveBytes_(interleaveBytes)
+    : eq_(eq), name_(name), interleaveBytes_(interleaveBytes)
 {
     if (numChannels == 0)
         throw std::invalid_argument(
@@ -296,6 +298,14 @@ InterleavedMemory::InterleavedMemory(EventQueue &eq, const std::string &name,
 void
 InterleavedMemory::access(MemRequest req)
 {
+    if (latHist_) {
+        req.onComplete = [this, t0 = eq_.curTick(),
+                          cb = std::move(req.onComplete)](Tick t) mutable {
+            latHist_->record(t - t0);
+            if (cb)
+                cb(t);
+        };
+    }
     const std::uint64_t chunk = req.addr / interleaveBytes_;
     const auto ch = static_cast<std::uint32_t>(chunk % channels_.size());
     // Compact the address into the channel's local space so that a
@@ -320,6 +330,8 @@ InterleavedMemory::resetStats()
 {
     for (auto &ch : channels_)
         ch->resetStats();
+    if (latHist_)
+        latHist_->reset();
 }
 
 } // namespace cxlmemo

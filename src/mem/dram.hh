@@ -32,6 +32,7 @@
 #include "mem/request.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
+#include "sim/histogram.hh"
 #include "sim/types.hh"
 
 namespace cxlmemo
@@ -215,10 +216,27 @@ class InterleavedMemory : public MemoryDevice
     DeviceStats stats() const;
     void resetStats();
 
+    /** Record end-to-end access latency (ticks) into a log-bucket
+     *  histogram; off by default (no wrapper on the hot path). */
+    void
+    enableLatencyHistogram()
+    {
+        if (!latHist_)
+            latHist_ = std::make_unique<LatencyHistogram>();
+    }
+
+    /** The access-latency histogram (nullptr unless enabled). */
+    const LatencyHistogram *latencyHistogram() const
+    {
+        return latHist_.get();
+    }
+
   private:
+    EventQueue &eq_;
     std::string name_;
     std::vector<std::unique_ptr<DramChannel>> channels_;
     std::uint64_t interleaveBytes_;
+    std::unique_ptr<LatencyHistogram> latHist_;
 };
 
 } // namespace cxlmemo

@@ -1,22 +1,4 @@
 #include "mem/request.hh"
 
-namespace cxlmemo
-{
-
-const char *
-memCmdName(MemCmd cmd)
-{
-    switch (cmd) {
-      case MemCmd::Read:
-        return "Read";
-      case MemCmd::Prefetch:
-        return "Prefetch";
-      case MemCmd::Write:
-        return "Write";
-      case MemCmd::NtWrite:
-        return "NtWrite";
-    }
-    return "Unknown";
-}
-
-} // namespace cxlmemo
+// memCmdName lives inline in the header so that sim-layer code (the
+// request tracer) can name commands without a mem-library dependency.

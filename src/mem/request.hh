@@ -17,6 +17,8 @@
 namespace cxlmemo
 {
 
+struct TraceSpan;
+
 /** Kinds of transactions a device can receive. */
 enum class MemCmd : std::uint8_t
 {
@@ -34,7 +36,21 @@ isWrite(MemCmd cmd)
 }
 
 /** @return human-readable command name. */
-const char *memCmdName(MemCmd cmd);
+inline const char *
+memCmdName(MemCmd cmd)
+{
+    switch (cmd) {
+      case MemCmd::Read:
+        return "Read";
+      case MemCmd::Prefetch:
+        return "Prefetch";
+      case MemCmd::Write:
+        return "Write";
+      case MemCmd::NtWrite:
+        return "NtWrite";
+    }
+    return "Unknown";
+}
 
 /**
  * A single transaction presented to a memory device.
@@ -64,6 +80,14 @@ struct MemRequest
     using Callback = InlineCallback<void(Tick)>;
 
     Callback onComplete;
+
+    /**
+     * Lifecycle-tracing span for the 1-in-N sampled requests; null
+     * for everything else (the default). Owned by the RequestTracer;
+     * components timestamp stage entry via RequestTracer::mark(),
+     * which is null-safe, so untraced requests pay one pointer test.
+     */
+    TraceSpan *span = nullptr;
 
     /**
      * For NtWrite only: fires when the write is *posted* -- accepted

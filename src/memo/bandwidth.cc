@@ -118,6 +118,8 @@ runSeqBandwidth(Target target, MemOp::Kind kind, std::uint32_t threads,
         });
     exportRas(*m, rasOut);
     exportQos(*m, qosOut);
+    if (opts.onMachineDone)
+        opts.onMachineDone(*m);
     return gbps;
 }
 
@@ -144,6 +146,8 @@ runRandBandwidth(Target target, MemOp::Kind kind, std::uint32_t threads,
         });
     exportRas(*m, rasOut);
     exportQos(*m, qosOut);
+    if (opts.onMachineDone)
+        opts.onMachineDone(*m);
     return gbps;
 }
 
@@ -193,6 +197,8 @@ runLoadedLatency(Target target, std::uint32_t threads,
     }
     exportRas(*m, rasOut);
     exportQos(*m, qosOut);
+    if (opts.onMachineDone)
+        opts.onMachineDone(*m);
     return nsFromTicks(end - start) / static_cast<double>(probe_accesses);
 }
 
@@ -261,6 +267,8 @@ runLoadedLatencyDist(Target target, std::uint32_t threads,
     if (const RasStats *rs = m->rasStats())
         dist.ras = *rs;
     exportQos(*m, &dist.qos);
+    if (opts.onMachineDone)
+        opts.onMachineDone(*m);
     return dist;
 }
 

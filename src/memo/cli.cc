@@ -4,7 +4,9 @@
 #include <limits>
 #include <sstream>
 
+#include "sim/histogram.hh"
 #include "sim/sweep.hh"
+#include "sim/trace.hh"
 
 namespace cxlmemo
 {
@@ -190,12 +192,55 @@ cliUsage()
         "                burst= line-ns= (host throttle)\n"
         "                e.g. --qos-spec credits=24,policy=aimd\n"
         "  --watchdog    forward-progress watchdog (100 us snapshots)\n"
-        "  --watchdog-ns N   watchdog snapshot interval in ns\n";
+        "  --watchdog-ns N   watchdog snapshot interval in ns\n"
+        "  --trace-out FILE  write sampled request-lifecycle spans as\n"
+        "                Chrome trace-event JSON (Perfetto-loadable)\n"
+        "  --trace-sample N | 1/N   trace every Nth request\n"
+        "                (default 1/64 when tracing is enabled)\n"
+        "  --metrics-out FILE   write the interval-metrics timeline\n"
+        "                (long-format CSV: point,time_ns,metric,kind,\n"
+        "                value)\n"
+        "  --metrics-interval-ns N   metrics snapshot interval\n"
+        "                (default 1000 when --metrics-out is given)\n"
+        "  --histograms  per-component latency histograms (extra CSV\n"
+        "                columns / report lines)\n"
+        "\n"
+        "  --opt=value is accepted everywhere --opt value is.\n";
+}
+
+ObservabilityOptions
+CliConfig::observability() const
+{
+    ObservabilityOptions obs;
+    if (!traceOut.empty() || traceSampleEvery > 0)
+        obs.traceSampleEvery = traceSampleEvery ? traceSampleEvery : 64;
+    if (!metricsOut.empty() || metricsIntervalNs > 0) {
+        obs.metricsInterval = ticksFromNs(static_cast<double>(
+            metricsIntervalNs ? metricsIntervalNs : 1000));
+    }
+    obs.latencyHistograms = histograms;
+    return obs;
 }
 
 std::optional<CliConfig>
-parseCli(const std::vector<std::string> &args, std::string &error)
+parseCli(const std::vector<std::string> &rawArgs, std::string &error)
 {
+    // Normalize "--opt=value" into "--opt value" so both spellings
+    // work; values themselves (e.g. --fault-spec crc=1e-4) keep their
+    // '=' because only tokens starting with "--" are split.
+    std::vector<std::string> args;
+    args.reserve(rawArgs.size());
+    for (const std::string &a : rawArgs) {
+        const auto eq = a.find('=');
+        if (a.size() > 2 && a.compare(0, 2, "--") == 0
+            && eq != std::string::npos) {
+            args.push_back(a.substr(0, eq));
+            args.push_back(a.substr(eq + 1));
+        } else {
+            args.push_back(a);
+        }
+    }
+
     CliConfig cfg;
     auto need = [&](std::size_t i) -> std::optional<std::string> {
         if (i + 1 >= args.size()) {
@@ -393,6 +438,46 @@ parseCli(const std::vector<std::string> &args, std::string &error)
                 return std::nullopt;
             }
             cfg.watchdogUs = static_cast<double>(*n) / 1000.0;
+        } else if (a == "--trace-out") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            cfg.traceOut = *v;
+            ++i;
+        } else if (a == "--trace-sample") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            // "N" and "1/N" both mean: trace every Nth request.
+            std::string n = *v;
+            if (n.rfind("1/", 0) == 0)
+                n = n.substr(2);
+            auto s = parseSize(n);
+            if (!s || *s == 0) {
+                error = "bad trace sample rate (N or 1/N): " + *v;
+                return std::nullopt;
+            }
+            cfg.traceSampleEvery = *s;
+            ++i;
+        } else if (a == "--metrics-out") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            cfg.metricsOut = *v;
+            ++i;
+        } else if (a == "--metrics-interval-ns") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            auto n = parseSize(*v);
+            if (!n || *n == 0) {
+                error = "bad metrics interval (ns): " + *v;
+                return std::nullopt;
+            }
+            cfg.metricsIntervalNs = *n;
+            ++i;
+        } else if (a == "--histograms") {
+            cfg.histograms = true;
         } else if (a == "--prefetch") {
             cfg.prefetch = true;
         } else if (a == "--csv") {
@@ -427,20 +512,99 @@ opName(MemOp::Kind k)
     }
 }
 
-/** One sweep-point result plus its machine's RAS/QoS counters. */
+/** One sweep-point result plus its machine's RAS/QoS counters and
+ *  flight-recorder collections (indexed by sweep position, so output
+ *  is identical for any --jobs value). */
 struct PointResult
 {
     double value = 0.0;
+    LoadedLatencyDist dist;  //!< loaded mode with extra columns only
     RasStats ras;
     QosStats qos;
+    LatencyHistogram hist;   //!< target-device access latency
+    std::string traceJson;   //!< comma-separated Chrome trace events
+    std::string metricsRows; //!< long-format metrics timeline rows
 };
 
-void
-printRasCsvHeader()
+const char *
+rasCsvColumns()
 {
-    std::printf(",crc_errors,link_retries,timeouts,host_retries,"
-                "drain_stalls,dram_stalls,poison_injected,"
-                "poison_consumed,poison_delivered,degradations");
+    return ",crc_errors,link_retries,timeouts,host_retries,"
+           "drain_stalls,dram_stalls,poison_injected,"
+           "poison_consumed,poison_delivered,degradations";
+}
+
+const char *
+qosCsvColumns()
+{
+    return ",credit_stalls,credit_stall_ns,throttle_ns,devload,"
+           "rate,ledger_ok";
+}
+
+const char *
+histCsvColumns()
+{
+    return ",lat_n,lat_avg_ns,lat_p50_ns,lat_p99_ns,lat_max_ns";
+}
+
+/** The device hosting @p target on @p m (nullopt target: merge every
+ *  device the machine has -- the copy mode touches several). */
+void
+mergeHistograms(Machine &m, std::optional<Target> target,
+                LatencyHistogram &out)
+{
+    auto add = [&out](const LatencyHistogram *h) {
+        if (h)
+            out.merge(*h);
+    };
+    if (!target) {
+        add(m.localMem().latencyHistogram());
+        if (m.hasRemote())
+            add(m.remoteMem().latencyHistogram());
+        if (m.hasCxl())
+            add(m.cxlDev().latencyHistogram());
+        return;
+    }
+    switch (*target) {
+      case Target::Ddr5Local:
+        add(m.localMem().latencyHistogram());
+        break;
+      case Target::Ddr5Remote:
+        if (m.hasRemote())
+            add(m.remoteMem().latencyHistogram());
+        break;
+      case Target::Cxl:
+        if (m.hasCxl())
+            add(m.cxlDev().latencyHistogram());
+        break;
+    }
+}
+
+/**
+ * Per-point harvest, invoked on the experiment machine right before
+ * it is destroyed: RAS/QoS counters (modes whose runner does not
+ * export them), trace events, the metrics timeline and the latency
+ * histogram. @p pid distinguishes sweep points in the merged trace.
+ */
+void
+collectPoint(Machine &m, std::optional<Target> target, int pid,
+             bool collectObs, PointResult &p)
+{
+    if (const RasStats *rs = m.rasStats())
+        p.ras = *rs;
+    if (auto qs = m.qosStats())
+        p.qos = *qs;
+    if (!collectObs)
+        return;
+    if (RequestTracer *tr = m.tracer()) {
+        bool first = true;
+        tr->appendTraceEvents(p.traceJson, pid, first);
+    }
+    if (MetricsRegistry *mr = m.metrics()) {
+        m.flushMetrics();
+        p.metricsRows = mr->rows();
+    }
+    mergeHistograms(m, target, p.hist);
 }
 
 void
@@ -466,13 +630,6 @@ printRasLine(const RasStats &rs)
 }
 
 void
-printQosCsvHeader()
-{
-    std::printf(",credit_stalls,credit_stall_ns,throttle_ns,devload,"
-                "rate,ledger_ok");
-}
-
-void
 printQosCsvCells(const QosStats &qs)
 {
     std::printf(",%llu,%llu,%llu,%.3f,%.3f,%d",
@@ -489,6 +646,162 @@ printQosLine(const QosStats &qs)
     std::printf("  qos: %s\n", qs.summary().c_str());
 }
 
+void
+printHistCsvCells(const LatencyHistogram &h)
+{
+    // Histograms record ticks; report nanoseconds like every other
+    // latency column.
+    std::printf(",%llu,%.1f,%.1f,%.1f,%.1f",
+                (unsigned long long)h.count(),
+                h.mean() / tickPerNs, h.p50() / tickPerNs,
+                h.p99() / tickPerNs,
+                static_cast<double>(h.max()) / tickPerNs);
+}
+
+void
+printHistLine(const LatencyHistogram &h)
+{
+    if (h.empty()) {
+        std::printf("  lat: no samples\n");
+        return;
+    }
+    std::printf("  lat: n=%llu  avg %.1f  p50 %.1f  p99 %.1f  "
+                "max %.1f ns\n",
+                (unsigned long long)h.count(), h.mean() / tickPerNs,
+                h.p50() / tickPerNs, h.p99() / tickPerNs,
+                static_cast<double>(h.max()) / tickPerNs);
+}
+
+/** The full optional cell set: every group, zeros when inactive, so
+ *  rows always match csvHeader()'s stable superset. */
+void
+printExtraCsvCells(const PointResult &p)
+{
+    printRasCsvCells(p.ras);
+    printQosCsvCells(p.qos);
+    printHistCsvCells(p.hist);
+}
+
+void
+printExtraLines(const PointResult &p, bool ras, bool qos, bool hist)
+{
+    if (ras)
+        printRasLine(p.ras);
+    if (qos)
+        printQosLine(p.qos);
+    if (hist)
+        printHistLine(p.hist);
+}
+
+/** Merge per-point trace fragments into one Chrome trace-event JSON
+ *  document ({"traceEvents": [...]}). */
+bool
+writeTraceFile(const std::string &path,
+               const std::vector<PointResult> &pts)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "memo: cannot write trace file %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::fputs("{\"traceEvents\":[", f);
+    bool first = true;
+    for (const PointResult &p : pts) {
+        if (p.traceJson.empty())
+            continue;
+        if (!first)
+            std::fputs(",\n", f);
+        std::fputs(p.traceJson.c_str(), f);
+        first = false;
+    }
+    std::fputs("]}\n", f);
+    std::fclose(f);
+    return true;
+}
+
+/** Concatenate per-point metrics timelines, prefixing each row with
+ *  its sweep-point index (schema: point,time_ns,metric,kind,value). */
+bool
+writeMetricsFile(const std::string &path,
+                 const std::vector<PointResult> &pts)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "memo: cannot write metrics file %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::fprintf(f, "point,%s\n", MetricsRegistry::csvHeader());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        const std::string &rows = pts[i].metricsRows;
+        std::size_t pos = 0;
+        while (pos < rows.size()) {
+            std::size_t nl = rows.find('\n', pos);
+            if (nl == std::string::npos)
+                nl = rows.size();
+            std::fprintf(f, "%zu,%.*s\n", i,
+                         static_cast<int>(nl - pos), rows.c_str() + pos);
+            pos = nl + 1;
+        }
+    }
+    std::fclose(f);
+    return true;
+}
+
+/** End-of-run file output shared by every mode. */
+int
+finishRun(const CliConfig &cfg, const std::vector<PointResult> &pts)
+{
+    bool ok = true;
+    if (!cfg.traceOut.empty())
+        ok = writeTraceFile(cfg.traceOut, pts) && ok;
+    if (!cfg.metricsOut.empty())
+        ok = writeMetricsFile(cfg.metricsOut, pts) && ok;
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+std::string
+csvHeader(CliMode mode, bool ras, bool qos, bool hist)
+{
+    std::string base;
+    const bool extras = ras || qos || hist;
+    switch (mode) {
+      case CliMode::Latency:
+        base = "target,ld,st+wb,nt-st,ptr-chase";
+        break;
+      case CliMode::Seq:
+        base = "target,op,threads,gbps";
+        break;
+      case CliMode::Rand:
+        base = "target,op,block,threads,gbps";
+        break;
+      case CliMode::Chase:
+        base = "target,wss,ns";
+        break;
+      case CliMode::Copy:
+        base = "path,method,batch,gbps";
+        break;
+      case CliMode::Loaded:
+        // With any extra group active the loaded probe reports the
+        // windowed distribution (tails are the interesting signal).
+        base = extras ? "target,threads,avg_ns,p50_ns,p99_ns"
+                      : "target,threads,ns";
+        break;
+      case CliMode::Help:
+        return "";
+    }
+    if (extras)
+        base += std::string(rasCsvColumns()) + qosCsvColumns()
+                + histCsvColumns();
+    return base;
+}
+
+namespace
+{
+
 int
 runCli(const CliConfig &cfg)
 {
@@ -498,8 +811,31 @@ runCli(const CliConfig &cfg)
     opts.faults = cfg.faults;
     opts.qos = cfg.qos;
     opts.watchdogUs = cfg.watchdogUs;
+    opts.obs = cfg.observability();
     const bool ras = cfg.faults.enabled();
     const bool qos = cfg.qos.enabled();
+    const bool hist = cfg.histograms;
+    const bool extras = ras || qos || hist;
+    const bool collect = opts.obs.enabled();
+
+    // Per-point options: every sweep point gets its own hook writing
+    // into that point's PointResult, so SweepRunner workers never
+    // share mutable state and output is --jobs-independent.
+    auto hooked = [&](PointResult &p, int pid,
+                      std::optional<Target> target) {
+        Options o = opts;
+        if (collect || extras) {
+            o.onMachineDone = [&p, pid, target, collect](Machine &m) {
+                collectPoint(m, target, pid, collect, p);
+            };
+        }
+        return o;
+    };
+
+    auto csvHeaderLine = [&] {
+        std::printf("%s\n",
+                    csvHeader(cfg.mode, ras, qos, hist).c_str());
+    };
 
     switch (cfg.mode) {
       case CliMode::Help:
@@ -507,68 +843,58 @@ runCli(const CliConfig &cfg)
         return 0;
 
       case CliMode::Latency: {
-        RasStats rs;
-        const LatencyResult r = runLatency(cfg.target, opts, &rs);
+        std::vector<PointResult> pts(1);
+        PointResult &p = pts[0];
+        const Options o = hooked(p, 0, cfg.target);
+        const LatencyResult r = runLatency(cfg.target, o, &p.ras);
         if (cfg.csv) {
-            std::printf("target,ld,st+wb,nt-st,ptr-chase");
-            if (ras)
-                printRasCsvHeader();
-            std::printf("\n");
+            csvHeaderLine();
             std::printf("%s,%.1f,%.1f,%.1f,%.1f",
                         targetName(cfg.target), r.loadNs, r.storeWbNs,
                         r.ntStoreNs, r.ptrChaseNs);
-            if (ras)
-                printRasCsvCells(rs);
+            if (extras)
+                printExtraCsvCells(p);
             std::printf("\n");
         } else {
             std::printf("%s latency (ns): ld %.1f  st+wb %.1f  "
                         "nt-st %.1f  ptr-chase %.1f\n",
                         targetName(cfg.target), r.loadNs, r.storeWbNs,
                         r.ntStoreNs, r.ptrChaseNs);
-            if (ras)
-                printRasLine(rs);
+            printExtraLines(p, ras, qos, hist);
         }
-        return 0;
+        return finishRun(cfg, pts);
       }
 
       case CliMode::Seq: {
         SweepRunner pool(cfg.jobs);
-        const auto bws = pool.map(cfg.threads.size(), [&](std::size_t i) {
+        const auto pts = pool.map(cfg.threads.size(),
+                                  [&](std::size_t i) {
             PointResult p;
+            const Options o = hooked(p, static_cast<int>(i),
+                                     cfg.target);
             p.value = runSeqBandwidth(cfg.target, cfg.op,
-                                      cfg.threads[i], opts, &p.ras,
+                                      cfg.threads[i], o, &p.ras,
                                       &p.qos);
             return p;
         });
-        if (cfg.csv) {
-            std::printf("target,op,threads,gbps");
-            if (ras)
-                printRasCsvHeader();
-            if (qos)
-                printQosCsvHeader();
-            std::printf("\n");
-        }
+        if (cfg.csv)
+            csvHeaderLine();
         for (std::size_t i = 0; i < cfg.threads.size(); ++i) {
             const std::uint32_t t = cfg.threads[i];
             if (cfg.csv) {
                 std::printf("%s,%s,%u,%.2f", targetName(cfg.target),
-                            opName(cfg.op), t, bws[i].value);
-                if (ras)
-                    printRasCsvCells(bws[i].ras);
-                if (qos)
-                    printQosCsvCells(bws[i].qos);
+                            opName(cfg.op), t, pts[i].value);
+                if (extras)
+                    printExtraCsvCells(pts[i]);
                 std::printf("\n");
             } else {
                 std::printf("%s %s seq, %2u threads: %7.2f GB/s\n",
                             targetName(cfg.target), opName(cfg.op), t,
-                            bws[i].value);
-                if (ras)
-                    printRasLine(bws[i].ras);
-                if (qos)
-                    printQosLine(bws[i].qos);
+                            pts[i].value);
+                printExtraLines(pts[i], ras, qos, hist);
             }
         }
-        return 0;
+        return finishRun(cfg, pts);
       }
 
       case CliMode::Rand: {
@@ -582,46 +908,37 @@ runCli(const CliConfig &cfg)
             for (std::uint32_t t : cfg.threads)
                 points.push_back({b, t});
         SweepRunner pool(cfg.jobs);
-        const auto bws = pool.map(points.size(), [&](std::size_t i) {
+        const auto pts = pool.map(points.size(), [&](std::size_t i) {
             PointResult p;
+            const Options o = hooked(p, static_cast<int>(i),
+                                     cfg.target);
             p.value = runRandBandwidth(cfg.target, cfg.op,
                                        points[i].threads,
-                                       points[i].block, opts, &p.ras,
+                                       points[i].block, o, &p.ras,
                                        &p.qos);
             return p;
         });
-        if (cfg.csv) {
-            std::printf("target,op,block,threads,gbps");
-            if (ras)
-                printRasCsvHeader();
-            if (qos)
-                printQosCsvHeader();
-            std::printf("\n");
-        }
+        if (cfg.csv)
+            csvHeaderLine();
         for (std::size_t i = 0; i < points.size(); ++i) {
             if (cfg.csv) {
                 std::printf("%s,%s,%llu,%u,%.2f",
                             targetName(cfg.target), opName(cfg.op),
                             (unsigned long long)points[i].block,
-                            points[i].threads, bws[i].value);
-                if (ras)
-                    printRasCsvCells(bws[i].ras);
-                if (qos)
-                    printQosCsvCells(bws[i].qos);
+                            points[i].threads, pts[i].value);
+                if (extras)
+                    printExtraCsvCells(pts[i]);
                 std::printf("\n");
             } else {
                 std::printf("%s %s rand %6lluB blocks, %2u "
                             "threads: %7.2f GB/s\n",
                             targetName(cfg.target), opName(cfg.op),
                             (unsigned long long)points[i].block,
-                            points[i].threads, bws[i].value);
-                if (ras)
-                    printRasLine(bws[i].ras);
-                if (qos)
-                    printQosLine(bws[i].qos);
+                            points[i].threads, pts[i].value);
+                printExtraLines(pts[i], ras, qos, hist);
             }
         }
-        return 0;
+        return finishRun(cfg, pts);
       }
 
       case CliMode::Chase: {
@@ -629,124 +946,122 @@ runCli(const CliConfig &cfg)
         // decomposition -- and therefore the output -- is the same for
         // every job count.
         SweepRunner pool(cfg.jobs);
-        const auto lat = pool.map(cfg.wssBytes.size(),
+        const auto pts = pool.map(cfg.wssBytes.size(),
                                   [&](std::size_t i) {
             PointResult p;
+            const Options o = hooked(p, static_cast<int>(i),
+                                     cfg.target);
             p.value = runPtrChaseWssSweep(cfg.target, {cfg.wssBytes[i]},
-                                          opts, &p.ras)[0];
+                                          o, &p.ras)[0];
             return p;
         });
-        if (cfg.csv) {
-            std::printf("target,wss,ns");
-            if (ras)
-                printRasCsvHeader();
-            std::printf("\n");
-        }
+        if (cfg.csv)
+            csvHeaderLine();
         for (std::size_t i = 0; i < cfg.wssBytes.size(); ++i) {
             if (cfg.csv) {
                 std::printf("%s,%llu,%.1f", targetName(cfg.target),
                             (unsigned long long)cfg.wssBytes[i],
-                            lat[i].value);
-                if (ras)
-                    printRasCsvCells(lat[i].ras);
+                            pts[i].value);
+                if (extras)
+                    printExtraCsvCells(pts[i]);
                 std::printf("\n");
             } else {
                 std::printf("%s chase wss %10llu B: %7.1f ns\n",
                             targetName(cfg.target),
                             (unsigned long long)cfg.wssBytes[i],
-                            lat[i].value);
-                if (ras)
-                    printRasLine(lat[i].ras);
+                            pts[i].value);
+                printExtraLines(pts[i], ras, qos, hist);
             }
         }
-        return 0;
+        return finishRun(cfg, pts);
       }
 
       case CliMode::Copy: {
-        const double bw = runCopyBandwidth(cfg.path, cfg.method,
-                                           cfg.batch, 4 * kiB, opts);
-        if (cfg.csv)
-            std::printf("path,method,batch,gbps\n%s,%s,%u,%.2f\n",
-                        copyPathName(cfg.path),
-                        copyMethodName(cfg.method), cfg.batch, bw);
-        else
+        std::vector<PointResult> pts(1);
+        PointResult &p = pts[0];
+        // The copy path touches several devices; merge them all into
+        // the histogram (nullopt target).
+        const Options o = hooked(p, 0, std::nullopt);
+        p.value = runCopyBandwidth(cfg.path, cfg.method, cfg.batch,
+                                   4 * kiB, o);
+        if (cfg.csv) {
+            csvHeaderLine();
+            std::printf("%s,%s,%u,%.2f", copyPathName(cfg.path),
+                        copyMethodName(cfg.method), cfg.batch,
+                        p.value);
+            if (extras)
+                printExtraCsvCells(p);
+            std::printf("\n");
+        } else {
             std::printf("%s via %s (batch %u): %.2f GB/s\n",
                         copyPathName(cfg.path),
-                        copyMethodName(cfg.method), cfg.batch, bw);
-        return 0;
+                        copyMethodName(cfg.method), cfg.batch,
+                        p.value);
+            printExtraLines(p, ras, qos, hist);
+        }
+        return finishRun(cfg, pts);
       }
 
       case CliMode::Loaded: {
         SweepRunner pool(cfg.jobs);
-        if (ras) {
-            // Under fault injection the interesting signal is the
-            // *tail*: report the windowed distribution instead of one
-            // long-run average.
-            const auto dists = pool.map(cfg.threads.size(),
-                                        [&](std::size_t i) {
-                return runLoadedLatencyDist(cfg.target, cfg.threads[i],
-                                            opts);
+        if (extras) {
+            // With any extra column group active the interesting
+            // signal is the *tail*: report the windowed distribution
+            // instead of one long-run average.
+            const auto pts = pool.map(cfg.threads.size(),
+                                      [&](std::size_t i) {
+                PointResult p;
+                const Options o = hooked(p, static_cast<int>(i),
+                                         cfg.target);
+                p.dist = runLoadedLatencyDist(cfg.target,
+                                              cfg.threads[i], o);
+                p.ras = p.dist.ras;
+                p.qos = p.dist.qos;
+                return p;
             });
-            if (cfg.csv) {
-                std::printf("target,threads,avg_ns,p50_ns,p99_ns");
-                printRasCsvHeader();
-                if (qos)
-                    printQosCsvHeader();
-                std::printf("\n");
-            }
+            if (cfg.csv)
+                csvHeaderLine();
             for (std::size_t i = 0; i < cfg.threads.size(); ++i) {
                 const std::uint32_t t = cfg.threads[i];
-                const LoadedLatencyDist &d = dists[i];
+                const LoadedLatencyDist &d = pts[i].dist;
                 if (cfg.csv) {
                     std::printf("%s,%u,%.1f,%.1f,%.1f",
                                 targetName(cfg.target), t, d.avgNs,
                                 d.p50Ns, d.p99Ns);
-                    printRasCsvCells(d.ras);
-                    if (qos)
-                        printQosCsvCells(d.qos);
+                    printExtraCsvCells(pts[i]);
                     std::printf("\n");
                 } else {
                     std::printf("%s loaded latency, %2u threads: "
                                 "avg %7.1f  p50 %7.1f  p99 %7.1f ns\n",
                                 targetName(cfg.target), t, d.avgNs,
                                 d.p50Ns, d.p99Ns);
-                    printRasLine(d.ras);
-                    if (qos)
-                        printQosLine(d.qos);
+                    printExtraLines(pts[i], ras, qos, hist);
                 }
             }
-            return 0;
+            return finishRun(cfg, pts);
         }
-        const auto lats = pool.map(cfg.threads.size(),
-                                   [&](std::size_t i) {
+        const auto pts = pool.map(cfg.threads.size(),
+                                  [&](std::size_t i) {
             PointResult p;
-            p.value = runLoadedLatency(cfg.target, cfg.threads[i],
-                                       opts, nullptr, &p.qos);
+            const Options o = hooked(p, static_cast<int>(i),
+                                     cfg.target);
+            p.value = runLoadedLatency(cfg.target, cfg.threads[i], o,
+                                       nullptr, &p.qos);
             return p;
         });
-        if (cfg.csv) {
-            std::printf("target,threads,ns");
-            if (qos)
-                printQosCsvHeader();
-            std::printf("\n");
-        }
+        if (cfg.csv)
+            csvHeaderLine();
         for (std::size_t i = 0; i < cfg.threads.size(); ++i) {
             const std::uint32_t t = cfg.threads[i];
-            if (cfg.csv) {
-                std::printf("%s,%u,%.1f", targetName(cfg.target), t,
-                            lats[i].value);
-                if (qos)
-                    printQosCsvCells(lats[i].qos);
-                std::printf("\n");
-            } else {
+            if (cfg.csv)
+                std::printf("%s,%u,%.1f\n", targetName(cfg.target), t,
+                            pts[i].value);
+            else
                 std::printf("%s loaded latency, %2u threads: %7.1f "
                             "ns\n",
-                            targetName(cfg.target), t, lats[i].value);
-                if (qos)
-                    printQosLine(lats[i].qos);
-            }
+                            targetName(cfg.target), t, pts[i].value);
         }
-        return 0;
+        return finishRun(cfg, pts);
       }
     }
     return 1;

@@ -75,7 +75,44 @@ struct CliConfig
      * printed in sweep order, not completion order.
      */
     std::uint32_t jobs = 1;
+
+    /* -------------------- flight recorder ------------------------ */
+
+    /** Chrome trace-event JSON output file (`--trace-out`); empty
+     *  (the default) disables tracing unless `--trace-sample` is
+     *  given explicitly (post-mortem ring only). */
+    std::string traceOut;
+
+    /** Trace 1-in-N requests (`--trace-sample N` or `1/N`); 0 means
+     *  "default" (64 when tracing is otherwise enabled). */
+    std::uint64_t traceSampleEvery = 0;
+
+    /** Interval-metrics CSV output file (`--metrics-out`). */
+    std::string metricsOut;
+
+    /** Metrics snapshot interval (`--metrics-interval-ns`); 0 means
+     *  "default" (1000 ns when `--metrics-out` is given). */
+    std::uint64_t metricsIntervalNs = 0;
+
+    /** Enable per-component latency histograms (`--histograms`). */
+    bool histograms = false;
+
+    /** The resolved observability options this invocation runs with
+     *  (all-off unless one of the flags above was given). */
+    ObservabilityOptions observability() const;
 };
+
+/**
+ * The CSV header `--csv` emits for @p mode. Exactly one header row is
+ * printed per run. With no optional column group active the base
+ * column set matches the pre-observability output byte-for-byte; as
+ * soon as *any* of @p ras / @p qos / @p hist is active, the full
+ * superset (base + RAS + QoS + histogram columns) is emitted and every
+ * row carries every group (zeros for inactive ones), so the column set
+ * is stable across fault/QoS/histogram configurations and mergeable
+ * across runs.
+ */
+std::string csvHeader(CliMode mode, bool ras, bool qos, bool hist);
 
 /**
  * Parse argv into a CliConfig.

@@ -40,6 +40,7 @@ makeMachine(Target target, const Options &opts, bool prefetch)
     mo.prefetchEnabled = prefetch;
     mo.faults = opts.faults;
     mo.qos = opts.qos;
+    mo.obs = opts.obs;
     if (opts.watchdogUs > 0.0)
         mo.watchdogInterval = ticksFromUs(opts.watchdogUs);
     const Testbed tb = target == Target::Ddr5Remote

@@ -148,7 +148,10 @@ runMovdirBandwidth(CopyPath path, std::uint32_t threads,
     std::uint64_t after = 0;
     for (const auto &t : pool)
         after += t->stats().bytesWritten;
-    return gbPerSec(after - before, window);
+    const double gbps = gbPerSec(after - before, window);
+    if (opts.onMachineDone)
+        opts.onMachineDone(*m);
+    return gbps;
 }
 
 double
@@ -172,7 +175,11 @@ runCopyBandwidth(CopyPath path, CopyMethod method, std::uint32_t batch,
         const std::uint64_t before = thread->stats().bytesWritten;
         const Tick window = ticksFromUs(opts.measureUs);
         m->eq().runUntil(ticksFromUs(opts.warmupUs) + window);
-        return gbPerSec(thread->stats().bytesWritten - before, window);
+        const double gbps =
+            gbPerSec(thread->stats().bytesWritten - before, window);
+        if (opts.onMachineDone)
+            opts.onMachineDone(*m);
+        return gbps;
     }
 
     // DSA flows: a driver loop submits descriptors over the region.
@@ -252,7 +259,10 @@ runCopyBandwidth(CopyPath path, CopyMethod method, std::uint32_t batch,
     const std::uint64_t before = dsa.bytesCopied();
     const Tick window = ticksFromUs(opts.measureUs);
     m->eq().runUntil(ticksFromUs(opts.warmupUs) + window);
-    return gbPerSec(dsa.bytesCopied() - before, window);
+    const double gbps = gbPerSec(dsa.bytesCopied() - before, window);
+    if (opts.onMachineDone)
+        opts.onMachineDone(*m);
+    return gbps;
 }
 
 } // namespace memo

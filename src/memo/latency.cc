@@ -120,6 +120,8 @@ runLatency(Target target, const Options &opts, RasStats *rasOut)
         else
             rasOut->reset();
     }
+    if (opts.onMachineDone)
+        opts.onMachineDone(*m);
     return res;
 }
 
@@ -155,6 +157,8 @@ runPtrChaseWssSweep(Target target,
     }
     if (rasOut)
         *rasOut = ras_total;
+    if (opts.onMachineDone)
+        opts.onMachineDone(*m);
     return out;
 }
 

@@ -21,6 +21,7 @@
 #define CXLMEMO_MEMO_MEMO_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,21 @@ struct Options
     /** Forward-progress watchdog snapshot interval in microseconds;
      *  0 (the default) builds no watchdog. */
     double watchdogUs = 0.0;
+
+    /** Flight-recorder wiring (tracing / interval metrics / latency
+     *  histograms) for every machine the experiment builds; all off
+     *  by default. */
+    ObservabilityOptions obs;
+
+    /**
+     * Invoked on each experiment Machine after its run completes and
+     * before the machine is destroyed -- the collection point for
+     * trace events, the metrics timeline and latency histograms.
+     * Sweep runners call it from the worker that ran the point, so a
+     * shared hook must either be thread-safe or (as the CLI does)
+     * each point gets its own Options copy with a per-point hook.
+     */
+    std::function<void(Machine &)> onMachineDone;
 };
 
 /** Results of the instruction-latency probes (Fig. 2, bars). */

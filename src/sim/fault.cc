@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "sim/logging.hh"
+
 namespace cxlmemo
 {
 
@@ -65,6 +67,16 @@ FaultSpec::validate() const
     if (backoffBase == 0)
         throw std::invalid_argument(
             "FaultSpec: backoff-ns must be positive");
+    // Legal but almost certainly not what the user wants: past ~10%
+    // per-event rates, recovery (replays, retries, stalls) dominates
+    // run time and the run measures the recovery machinery, not the
+    // memory system. Warn once, not per validation call.
+    if (crcPerFlit > 0.1 || readPoisonRate > 0.1 || timeoutRate > 0.1
+        || drainStallRate > 0.1 || dramStallRate > 0.1) {
+        CXLMEMO_WARN_ONCE(
+            "fault-spec rate above 0.1: recovery traffic will dominate "
+            "the run (%s)", toString().c_str());
+    }
 }
 
 std::string

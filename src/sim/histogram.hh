@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Fixed-size log-bucket latency histogram (HDR-histogram style).
+ *
+ * SampleSeries stores every sample, which is exact but O(n) memory and
+ * O(n log n) per percentile query -- fine for a few hundred thousand
+ * experiment-level samples, hostile on per-request hot paths that see
+ * tens of millions of events. LatencyHistogram records into a fixed
+ * array of buckets: values below 2^subBits land in exact linear
+ * buckets; above that each power-of-two octave is split into 2^subBits
+ * sub-buckets, bounding relative error at 1/2^subBits (~3% for
+ * subBits = 5). record() is O(1) with no allocation, merge() is exact
+ * integer addition (associative and commutative, so SweepRunner
+ * workers can histogram independently and combine in any grouping),
+ * and percentile() is a bucket walk over a few hundred entries.
+ *
+ * Exact min/max/sum/count are tracked separately so mean() and the
+ * extremes carry no quantization error; only interior percentiles are
+ * approximate (reported as the representative midpoint of the bucket).
+ */
+
+#ifndef CXLMEMO_SIM_HISTOGRAM_HH
+#define CXLMEMO_SIM_HISTOGRAM_HH
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace cxlmemo
+{
+
+class LatencyHistogram
+{
+  public:
+    /** Sub-bucket resolution: 2^kSubBits sub-buckets per octave. */
+    static constexpr std::uint32_t kSubBits = 5;
+    static constexpr std::uint32_t kSubBuckets = 1u << kSubBits;
+    /** Octaves above the linear region; covers the full u64 range. */
+    static constexpr std::uint32_t kOctaves = 64 - kSubBits;
+    static constexpr std::uint32_t kBuckets = kSubBuckets * (kOctaves + 1);
+
+    void
+    record(std::uint64_t v)
+    {
+        ++buckets_[bucketOf(v)];
+        ++count_;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_)
+                            / static_cast<double>(count_)
+                      : 0.0;
+    }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return count_ ? max_ : 0; }
+    bool empty() const { return count_ == 0; }
+
+    /**
+     * Approximate percentile with nearest-rank semantics over the
+     * bucket counts; exact at the extremes (clamped to min/max).
+     * @param p percentile in [0, 100]
+     */
+    double
+    percentile(double p) const
+    {
+        if (count_ == 0)
+            return 0.0;
+        CXLMEMO_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+        auto rank = static_cast<std::uint64_t>(
+            p / 100.0 * static_cast<double>(count_) + 0.9999999);
+        rank = std::clamp<std::uint64_t>(rank, 1, count_);
+        std::uint64_t seen = 0;
+        for (std::uint32_t b = 0; b < kBuckets; ++b) {
+            seen += buckets_[b];
+            if (seen >= rank) {
+                const double mid = bucketMidpoint(b);
+                // The bucket containing the true min/max may be wide;
+                // clamp so p0/p100 report the exact extremes.
+                return std::clamp(mid, static_cast<double>(min_),
+                                  static_cast<double>(max_));
+            }
+        }
+        return static_cast<double>(max_);
+    }
+
+    double p50() const { return percentile(50.0); }
+    double p99() const { return percentile(99.0); }
+
+    /** Exact combine: bucket counts add, extremes take the hull. */
+    void
+    merge(const LatencyHistogram &o)
+    {
+        for (std::uint32_t b = 0; b < kBuckets; ++b)
+            buckets_[b] += o.buckets_[b];
+        count_ += o.count_;
+        sum_ += o.sum_;
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+
+    void
+    reset()
+    {
+        buckets_.fill(0);
+        count_ = 0;
+        sum_ = 0;
+        min_ = std::numeric_limits<std::uint64_t>::max();
+        max_ = 0;
+    }
+
+    /** Bucket index a value lands in (exposed for tests). */
+    static std::uint32_t
+    bucketOf(std::uint64_t v)
+    {
+        if (v < kSubBuckets)
+            return static_cast<std::uint32_t>(v);
+        const auto msb =
+            static_cast<std::uint32_t>(63 - std::countl_zero(v));
+        const std::uint32_t octave = msb - kSubBits + 1;
+        const auto sub =
+            static_cast<std::uint32_t>((v >> (msb - kSubBits))
+                                       & (kSubBuckets - 1));
+        return octave * kSubBuckets + sub;
+    }
+
+    /** Representative value (midpoint) of a bucket. */
+    static double
+    bucketMidpoint(std::uint32_t b)
+    {
+        const std::uint32_t octave = b / kSubBuckets;
+        const std::uint32_t sub = b % kSubBuckets;
+        if (octave == 0)
+            return static_cast<double>(sub);
+        const std::uint32_t shift = octave - 1;
+        const double lo = static_cast<double>(
+            (static_cast<std::uint64_t>(kSubBuckets + sub)) << shift);
+        const double width =
+            static_cast<double>(std::uint64_t{1} << shift);
+        return lo + width / 2.0;
+    }
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ = 0;
+};
+
+} // namespace cxlmemo
+
+#endif // CXLMEMO_SIM_HISTOGRAM_HH

@@ -11,6 +11,8 @@
 #ifndef CXLMEMO_SIM_LOGGING_HH
 #define CXLMEMO_SIM_LOGGING_HH
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -49,6 +51,41 @@ std::string format(const char *fmt, ...)
 #define CXLMEMO_INFORM(...)                                                  \
     ::cxlmemo::logging_detail::informImpl(                                   \
         ::cxlmemo::logging_detail::format(__VA_ARGS__))
+
+/**
+ * Warn at most once per call site for the process lifetime. Per-request
+ * conditions (retry budget exhausted, poison delivered uncached) can
+ * fire millions of times in a sweep; the first occurrence carries all
+ * the signal. Atomic because SweepRunner executes machines on several
+ * host threads that may share a call site.
+ */
+#define CXLMEMO_WARN_ONCE(...)                                               \
+    do {                                                                     \
+        static ::std::atomic<bool> cxlmemo_warned_{false};                   \
+        if (!cxlmemo_warned_.exchange(true, ::std::memory_order_relaxed)) {  \
+            CXLMEMO_WARN(__VA_ARGS__);                                       \
+        }                                                                    \
+    } while (0)
+
+/**
+ * Warn for the first @p limit occurrences per call site, then announce
+ * suppression once and stay silent. Use where a handful of instances
+ * are diagnostic (which requests hit the condition) but an unbounded
+ * stream would flood a multi-million-request sweep.
+ */
+#define CXLMEMO_WARN_RATELIMITED(limit, ...)                                 \
+    do {                                                                     \
+        static ::std::atomic<std::uint64_t> cxlmemo_warn_count_{0};          \
+        const std::uint64_t cxlmemo_n_ = cxlmemo_warn_count_.fetch_add(      \
+            1, ::std::memory_order_relaxed);                                 \
+        if (cxlmemo_n_ < (limit)) {                                          \
+            CXLMEMO_WARN(__VA_ARGS__);                                       \
+            if (cxlmemo_n_ + 1 == (limit)) {                                 \
+                CXLMEMO_WARN("further warnings from %s:%d suppressed",      \
+                             __FILE__, __LINE__);                            \
+            }                                                                \
+        }                                                                    \
+    } while (0)
 
 /**
  * Assert an internal invariant; compiled in all build types. The

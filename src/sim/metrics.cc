@@ -1,0 +1,75 @@
+#include "sim/metrics.hh"
+
+#include <cstdio>
+
+namespace cxlmemo
+{
+
+void
+MetricsRegistry::appendRow(Tick now, const std::string &name,
+                           const char *kind, std::uint64_t value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f,", nsFromTicks(now));
+    rows_ += buf;
+    rows_ += name;
+    rows_ += ',';
+    rows_ += kind;
+    std::snprintf(buf, sizeof(buf), ",%llu\n",
+                  static_cast<unsigned long long>(value));
+    rows_ += buf;
+}
+
+void
+MetricsRegistry::appendRow(Tick now, const std::string &name,
+                           const char *kind, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f,", nsFromTicks(now));
+    rows_ += buf;
+    rows_ += name;
+    rows_ += ',';
+    rows_ += kind;
+    std::snprintf(buf, sizeof(buf), ",%.6g\n", value);
+    rows_ += buf;
+}
+
+void
+MetricsRegistry::snapshot(Tick now)
+{
+    ++snapshots_;
+    for (Counter &c : counters_) {
+        const std::uint64_t total = c.read();
+        // Monotonicity is the source's contract; a reset between
+        // snapshots would make the delta wrap. Clamp defensively so a
+        // misbehaving source corrupts one row, not the whole timeline.
+        const std::uint64_t delta = total >= c.last ? total - c.last : 0;
+        appendRow(now, c.name, "delta", delta);
+        c.last = total;
+    }
+    for (const Gauge &g : gauges_)
+        appendRow(now, g.name, "gauge", g.read());
+}
+
+void
+MetricsRegistry::flush(Tick now)
+{
+    if (flushed_)
+        return;
+    flushed_ = true;
+    snapshot(now);
+    for (const Counter &c : counters_)
+        appendRow(now, c.name, "total", c.read());
+}
+
+void
+MetricsRegistry::reset()
+{
+    rows_.clear();
+    snapshots_ = 0;
+    flushed_ = false;
+    for (Counter &c : counters_)
+        c.last = c.read();
+}
+
+} // namespace cxlmemo

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Interval metrics: a pull-model registry of named counters and
+ * gauges plus a sim-time sampler that snapshots them periodically
+ * into a long-format CSV timeline.
+ *
+ * Components register sources once (a lambda reading their existing
+ * stats -- no new accounting on the hot path):
+ *
+ *  - **counter**: a monotone total (bytes moved, requests retired,
+ *    stall ticks). Each snapshot emits the *delta* since the previous
+ *    one, and the final flush emits the grand total, so the timeline
+ *    is conservative by construction: sum(deltas) == total, exactly,
+ *    in u64 arithmetic. Tests and CI assert this.
+ *  - **gauge**: an instantaneous level (queue depth, buffer
+ *    occupancy, DevLoad, credit-wait depth); sampled as-is.
+ *
+ * CSV schema (long format, one row per metric per snapshot):
+ *
+ *     time_ns,metric,kind,value
+ *
+ * with kind in {delta, gauge, total}. Long format keeps the column
+ * set fixed no matter which components exist, so timelines from
+ * different configurations concatenate cleanly.
+ *
+ * The sampler follows the watchdog's scheduling-neutrality rule: its
+ * event reschedules itself only while other events are pending, so
+ * it never keeps EventQueue::run() from draining; the harness rearms
+ * it when starting new work. Disabled (interval 0, the default),
+ * nothing is scheduled and behaviour is bit-identical.
+ */
+
+#ifndef CXLMEMO_SIM_METRICS_HH
+#define CXLMEMO_SIM_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace cxlmemo
+{
+
+class MetricsRegistry
+{
+  public:
+    /** Register a monotone counter; @p read returns the current total. */
+    void
+    addCounter(std::string name, std::function<std::uint64_t()> read)
+    {
+        counters_.push_back({std::move(name), std::move(read), 0});
+    }
+
+    /** Register an instantaneous gauge. */
+    void
+    addGauge(std::string name, std::function<double()> read)
+    {
+        gauges_.push_back({std::move(name), std::move(read)});
+    }
+
+    /** Emit one delta row per counter and one gauge row per gauge. */
+    void snapshot(Tick now);
+
+    /**
+     * Final accounting at end of run: a last delta snapshot (so no
+     * tail activity is lost) followed by one total row per counter.
+     * Idempotent per run; reset() starts a new one.
+     */
+    void flush(Tick now);
+
+    /** Accumulated CSV rows (no header). */
+    const std::string &rows() const { return rows_; }
+
+    static const char *csvHeader() { return "time_ns,metric,kind,value"; }
+
+    std::size_t counterCount() const { return counters_.size(); }
+    std::size_t gaugeCount() const { return gauges_.size(); }
+    std::uint64_t snapshots() const { return snapshots_; }
+
+    /** Clear rows and re-baseline counters (between sweep points). */
+    void reset();
+
+  private:
+    struct Counter
+    {
+        std::string name;
+        std::function<std::uint64_t()> read;
+        std::uint64_t last = 0;
+    };
+
+    struct Gauge
+    {
+        std::string name;
+        std::function<double()> read;
+    };
+
+    void appendRow(Tick now, const std::string &name, const char *kind,
+                   std::uint64_t value);
+    void appendRow(Tick now, const std::string &name, const char *kind,
+                   double value);
+
+    std::vector<Counter> counters_;
+    std::vector<Gauge> gauges_;
+    std::string rows_;
+    std::uint64_t snapshots_ = 0;
+    bool flushed_ = false;
+};
+
+/**
+ * Periodic sim-time driver for a MetricsRegistry. arm() schedules the
+ * next snapshot; the event re-arms itself only while the event queue
+ * has other work, standing down at quiesce (rearm via
+ * Machine::rearmWatchdog(), which the harness already calls when
+ * starting each run phase).
+ */
+class MetricsSampler
+{
+  public:
+    MetricsSampler(EventQueue &eq, MetricsRegistry &registry,
+                   Tick interval)
+        : eq_(eq), registry_(registry), interval_(interval)
+    {
+    }
+
+    void
+    arm()
+    {
+        if (armed_ || interval_ == 0)
+            return;
+        armed_ = true;
+        eq_.scheduleIn(interval_, [this] { sample(); });
+    }
+
+    bool armed() const { return armed_; }
+    Tick interval() const { return interval_; }
+
+  private:
+    void
+    sample()
+    {
+        armed_ = false;
+        registry_.snapshot(eq_.curTick());
+        if (eq_.pending() > 0)
+            arm();
+    }
+
+    EventQueue &eq_;
+    MetricsRegistry &registry_;
+    Tick interval_;
+    bool armed_ = false;
+};
+
+} // namespace cxlmemo
+
+#endif // CXLMEMO_SIM_METRICS_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Knobs for the observability subsystem (tracing, interval metrics,
+ * per-component latency histograms). All off by default; a Machine
+ * built with the default options constructs no observers, schedules
+ * no events and behaves bit-identically to a build without the
+ * subsystem.
+ */
+
+#ifndef CXLMEMO_SIM_OBSERVABILITY_HH
+#define CXLMEMO_SIM_OBSERVABILITY_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace cxlmemo
+{
+
+struct ObservabilityOptions
+{
+    /** Trace every Nth request (0 = tracing off). */
+    std::uint64_t traceSampleEvery = 0;
+
+    /** Completed spans kept in the watchdog post-mortem ring. */
+    std::size_t traceRing = 32;
+
+    /** Metrics snapshot interval in sim time (0 = metrics off). */
+    Tick metricsInterval = 0;
+
+    /** Per-component latency histograms (device access latency). */
+    bool latencyHistograms = false;
+
+    bool
+    enabled() const
+    {
+        return traceSampleEvery != 0 || metricsInterval != 0
+               || latencyHistograms;
+    }
+};
+
+} // namespace cxlmemo
+
+#endif // CXLMEMO_SIM_OBSERVABILITY_HH

@@ -1,0 +1,175 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cxlmemo
+{
+
+const char *
+traceStageName(TraceStage s)
+{
+    switch (s) {
+      case TraceStage::Issue:      return "issue";
+      case TraceStage::LfbWait:    return "lfb_wait";
+      case TraceStage::Cache:      return "cache";
+      case TraceStage::Dram:       return "dram";
+      case TraceStage::Upi:        return "upi";
+      case TraceStage::CxlM2s:     return "cxl_m2s";
+      case TraceStage::CxlCredit:  return "cxl_credit";
+      case TraceStage::CxlIngress: return "cxl_ingress";
+      case TraceStage::CxlEgress:  return "cxl_egress";
+      case TraceStage::CxlS2m:     return "cxl_s2m";
+    }
+    return "?";
+}
+
+RequestTracer::RequestTracer(std::uint64_t sampleEvery, std::size_t ringCap)
+    : sampleEvery_(sampleEvery), ringCap_(ringCap)
+{
+}
+
+TraceSpan *
+RequestTracer::maybeStart(std::uint16_t source, MemCmd cmd, Addr addr,
+                          Tick at)
+{
+    if (sampleEvery_ == 0)
+        return nullptr;
+    const std::uint64_t n = seen_++;
+    if (n % sampleEvery_ != 0)
+        return nullptr;
+    auto span = std::make_unique<TraceSpan>();
+    span->id = nextId_++;
+    span->source = source;
+    span->cmd = cmd;
+    span->addr = addr;
+    span->start = at;
+    TraceSpan *raw = span.get();
+    open_.push_back(std::move(span));
+    return raw;
+}
+
+void
+RequestTracer::finish(TraceSpan *span, Tick at)
+{
+    CXLMEMO_ASSERT(span != nullptr, "finishing a null span");
+    span->end = at;
+    auto it = std::find_if(open_.begin(), open_.end(),
+                           [span](const std::unique_ptr<TraceSpan> &p) {
+                               return p.get() == span;
+                           });
+    CXLMEMO_ASSERT(it != open_.end(), "span finished twice or never opened");
+    TraceSpan done = std::move(**it);
+    // Swap-remove: span completion order is timing-dependent anyway;
+    // exports sort nothing and viewers order by timestamp.
+    *it = std::move(open_.back());
+    open_.pop_back();
+
+    if (ringCap_ > 0) {
+        if (ring_.size() == ringCap_)
+            ring_.pop_front();
+        ring_.push_back(done);
+    }
+    if (completed_.size() < maxCompleted_)
+        completed_.push_back(std::move(done));
+    else
+        ++dropped_;
+}
+
+namespace
+{
+
+/** One Chrome complete ("X") event; ts/dur in microseconds. */
+void
+appendEvent(std::string &out, bool &first, const char *name, int pid,
+            std::uint16_t tid, Tick ts, Tick dur, const TraceSpan &span,
+            const char *stage)
+{
+    if (!first)
+        out += ",\n";
+    first = false;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.6f,"
+                  "\"dur\":%.6f,\"pid\":%d,\"tid\":%u,"
+                  "\"args\":{\"id\":%llu,\"addr\":%llu,\"stage\":\"%s\"}}",
+                  name, static_cast<double>(ts) / 1e6,
+                  static_cast<double>(dur) / 1e6, pid,
+                  static_cast<unsigned>(tid),
+                  static_cast<unsigned long long>(span.id),
+                  static_cast<unsigned long long>(span.addr), stage);
+    out += buf;
+}
+
+} // namespace
+
+void
+RequestTracer::appendTraceEvents(std::string &out, int pid,
+                                 bool &first) const
+{
+    for (const TraceSpan &span : completed_) {
+        appendEvent(out, first, memCmdName(span.cmd), pid, span.source,
+                    span.start, span.end - span.start, span, "span");
+        for (std::size_t i = 0; i < span.marks.size(); ++i) {
+            const StageMark &m = span.marks[i];
+            const Tick until = i + 1 < span.marks.size()
+                                   ? span.marks[i + 1].at
+                                   : span.end;
+            appendEvent(out, first, traceStageName(m.stage), pid,
+                        span.source, m.at,
+                        until > m.at ? until - m.at : 0, span,
+                        traceStageName(m.stage));
+        }
+    }
+}
+
+namespace
+{
+
+void
+appendSpanLine(std::string &out, const TraceSpan &s, bool open, Tick now)
+{
+    char buf[192];
+    const char *last =
+        s.marks.empty() ? "issue" : traceStageName(s.marks.back().stage);
+    if (open) {
+        std::snprintf(buf, sizeof(buf),
+                      "    open id=%llu src=%u %s addr=0x%llx "
+                      "age=%.1fns stuck_in=%s\n",
+                      static_cast<unsigned long long>(s.id),
+                      static_cast<unsigned>(s.source), memCmdName(s.cmd),
+                      static_cast<unsigned long long>(s.addr),
+                      static_cast<double>(now - s.start) / tickPerNs,
+                      last);
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "    done id=%llu src=%u %s addr=0x%llx "
+                      "lat=%.1fns last=%s\n",
+                      static_cast<unsigned long long>(s.id),
+                      static_cast<unsigned>(s.source), memCmdName(s.cmd),
+                      static_cast<unsigned long long>(s.addr),
+                      static_cast<double>(s.end - s.start) / tickPerNs,
+                      last);
+    }
+    out += buf;
+}
+
+} // namespace
+
+std::string
+RequestTracer::postMortem(Tick now) const
+{
+    std::string out = "  flight recorder (sample 1/"
+                      + std::to_string(sampleEvery_) + "):\n";
+    out += "   in-flight spans: " + std::to_string(open_.size()) + "\n";
+    for (const auto &p : open_)
+        appendSpanLine(out, *p, true, now);
+    out += "   last " + std::to_string(ring_.size())
+           + " completed spans:\n";
+    for (const TraceSpan &s : ring_)
+        appendSpanLine(out, s, false, now);
+    return out;
+}
+
+} // namespace cxlmemo

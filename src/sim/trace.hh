@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Request-lifecycle tracing: sampled per-request spans that timestamp
+ * each pipeline stage a MemRequest passes through, from core issue to
+ * response delivery.
+ *
+ * The flight-recorder model:
+ *
+ *  - A RequestTracer decides at issue time (deterministic 1-in-N
+ *    counter, no RNG -- tracing must not perturb seeded streams)
+ *    whether a request gets a span. Unsampled requests carry a null
+ *    span pointer and pay a single pointer test per stage.
+ *  - Components mark stage *entry* with RequestTracer::mark(span,
+ *    stage, tick); marks are ordered, so a stage's duration is the
+ *    gap to the next mark (or to span end for the last stage).
+ *  - Completed spans accumulate for Chrome trace-event JSON export
+ *    (Perfetto-loadable) and feed a bounded ring of the last N
+ *    completions that the watchdog post-mortem dumps, together with
+ *    still-open spans and the stage each one is stuck in.
+ *
+ * Disabled (sampleEvery == 0, the default), maybeStart() returns
+ * nullptr unconditionally, no span is ever allocated, and simulated
+ * behaviour is bit-identical to a build without this subsystem:
+ * tracing only observes ticks, never schedules or delays anything.
+ */
+
+#ifndef CXLMEMO_SIM_TRACE_HH
+#define CXLMEMO_SIM_TRACE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/request.hh"
+#include "sim/types.hh"
+
+namespace cxlmemo
+{
+
+/**
+ * Pipeline stages a request can enter, in rough path order. One
+ * request touches a subset: a local-DRAM read sees Issue/Cache/Dram;
+ * a CXL read adds the link, controller and (under overload) credit
+ * stages; a remote-socket read sees Upi instead.
+ */
+enum class TraceStage : std::uint8_t
+{
+    Issue,      //!< core issued (left the thread's issue gate)
+    LfbWait,    //!< stalled for a fill buffer / WC buffer / store entry
+    Cache,      //!< L1-L2-LLC lookup pipeline
+    Dram,       //!< DRAM channel (local, remote or device back-end)
+    Upi,        //!< cross-socket UPI hop
+    CxlM2s,     //!< M2S flit serialization + propagation (host->device)
+    CxlCredit,  //!< waiting for an M2S message-class credit
+    CxlIngress, //!< device controller ingress pipe + tracker/buffer wait
+    CxlEgress,  //!< device controller egress pipe
+    CxlS2m,     //!< S2M response flit (device->host)
+};
+
+/** Human/trace-viewer name of a stage. */
+const char *traceStageName(TraceStage s);
+
+/** One timestamped stage entry within a span. */
+struct StageMark
+{
+    TraceStage stage;
+    Tick at;
+};
+
+/** The recorded lifecycle of one sampled request. */
+struct TraceSpan
+{
+    std::uint64_t id = 0;
+    std::uint16_t source = 0;
+    MemCmd cmd = MemCmd::Read;
+    Addr addr = 0;
+    Tick start = 0;
+    Tick end = 0;
+    std::vector<StageMark> marks;
+};
+
+class RequestTracer
+{
+  public:
+    /**
+     * @param sampleEvery trace every Nth request (0 disables);
+     * @param ringCap completed spans kept for the post-mortem ring.
+     */
+    explicit RequestTracer(std::uint64_t sampleEvery,
+                           std::size_t ringCap = 32);
+
+    /**
+     * Called at every request issue. Returns a stable span pointer for
+     * the 1-in-N sampled requests, nullptr otherwise. The pointer
+     * stays valid until finish().
+     */
+    TraceSpan *maybeStart(std::uint16_t source, MemCmd cmd, Addr addr,
+                          Tick at);
+
+    /** Record stage entry; null-safe so call sites need no tracer. */
+    static void
+    mark(TraceSpan *span, TraceStage stage, Tick at)
+    {
+        if (span)
+            span->marks.push_back({stage, at});
+    }
+
+    /** Complete the span: moves it to the export set and the ring. */
+    void finish(TraceSpan *span, Tick at);
+
+    std::uint64_t sampleEvery() const { return sampleEvery_; }
+    std::uint64_t seen() const { return seen_; }
+    std::size_t openCount() const { return open_.size(); }
+    std::size_t completedCount() const { return completed_.size(); }
+    std::uint64_t dropped() const { return dropped_; }
+
+    const std::deque<TraceSpan> &ring() const { return ring_; }
+
+    /**
+     * Append this tracer's completed spans as Chrome trace-event JSON
+     * objects (comma-separated; no surrounding array) to @p out. Each
+     * span becomes a parent "X" slice plus one child slice per stage;
+     * ts/dur are microseconds, tid is the issuing source, @p pid
+     * distinguishes machines (sweep points) in a merged trace.
+     * @p first tracks whether a comma is needed before the next event.
+     */
+    void appendTraceEvents(std::string &out, int pid, bool &first) const;
+
+    /**
+     * Flight-recorder dump for the watchdog: the last-N completed
+     * spans and every still-open span with the stage it is stuck in.
+     */
+    std::string postMortem(Tick now) const;
+
+  private:
+    std::uint64_t sampleEvery_;
+    std::size_t ringCap_;
+    std::uint64_t seen_ = 0;
+    std::uint64_t nextId_ = 0;
+    std::uint64_t dropped_ = 0;
+
+    /** Spans in flight; unique_ptr keeps addresses stable. */
+    std::vector<std::unique_ptr<TraceSpan>> open_;
+    /** Completed spans retained for JSON export (bounded). */
+    std::vector<TraceSpan> completed_;
+    /** Last-N completed spans for the post-mortem. */
+    std::deque<TraceSpan> ring_;
+
+    /** Export-set bound: past this, spans still feed the ring but are
+     *  dropped from the JSON (counted in dropped_). */
+    static constexpr std::size_t maxCompleted_ = 1u << 20;
+};
+
+} // namespace cxlmemo
+
+#endif // CXLMEMO_SIM_TRACE_HH

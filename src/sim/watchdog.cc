@@ -100,6 +100,8 @@ Watchdog::trip(const std::string &why)
            << s->progressOutstanding() << "\n"
            << s->progressDiagnosis();
     }
+    for (const auto &dump : postMortems_)
+        os << dump();
     report_ = os.str();
     if (onTrip_) {
         onTrip_(report_);

@@ -103,6 +103,17 @@ class Watchdog
     void setOnTrip(TripHandler handler) { onTrip_ = std::move(handler); }
 
     /**
+     * Register an extra post-mortem section appended to the trip
+     * report after the per-source diagnoses (e.g. the flight
+     * recorder's last-N request spans). Called only on trip.
+     */
+    void
+    addPostMortem(std::function<std::string()> dump)
+    {
+        postMortems_.push_back(std::move(dump));
+    }
+
+    /**
      * Schedule the next snapshot if none is pending. Call after
      * construction and again whenever new work is started after the
      * event queue quiesced (the watchdog stands down at quiesce so
@@ -124,6 +135,7 @@ class Watchdog
     EventQueue &eq_;
     WatchdogParams params_;
     std::vector<ProgressSource *> sources_;
+    std::vector<std::function<std::string()>> postMortems_;
     TripHandler onTrip_;
 
     bool armed_ = false;

@@ -244,8 +244,121 @@ Machine::Machine(Testbed testbed, MachineOptions opts) : testbed_(testbed)
         }
         watchdog_->arm();
     }
+
+    // Flight recorder. Everything below is opt-in: the default
+    // ObservabilityOptions builds none of it, cores see a null tracer
+    // and the devices' histogram pointers stay null, so the disabled
+    // configuration is bit-identical to a build without this layer.
+    if (opts.obs.traceSampleEvery > 0) {
+        tracer_ = std::make_unique<RequestTracer>(
+            opts.obs.traceSampleEvery, opts.obs.traceRing);
+        caches_->setTracer(tracer_.get());
+        if (watchdog_) {
+            watchdog_->addPostMortem(
+                [this] { return tracer_->postMortem(eq_.curTick()); });
+        }
+    }
+    if (opts.obs.latencyHistograms) {
+        local_->enableLatencyHistogram();
+        if (remote_)
+            remote_->enableLatencyHistogram();
+        if (cxl_)
+            cxl_->enableLatencyHistogram();
+    }
+    if (opts.obs.metricsInterval > 0) {
+        metrics_ = std::make_unique<MetricsRegistry>();
+        registerMetrics();
+        sampler_ = std::make_unique<MetricsSampler>(
+            eq_, *metrics_, opts.obs.metricsInterval);
+        sampler_->arm();
+    }
+
     dsa_ = std::make_unique<Dsa>(eq_, numa_, DsaParams{});
     coreParams_ = sprCore();
+}
+
+void
+Machine::registerMetrics()
+{
+    MetricsRegistry &m = *metrics_;
+    m.addCounter("eq.events", [this] { return eq_.eventsExecuted(); });
+
+    m.addCounter("local.reads",
+                 [this] { return local_->stats().reads; });
+    m.addCounter("local.writes",
+                 [this] { return local_->stats().writes; });
+    m.addCounter("local.bytes_read",
+                 [this] { return local_->stats().bytesRead; });
+    m.addCounter("local.bytes_written",
+                 [this] { return local_->stats().bytesWritten; });
+    m.addCounter("local.row_hits",
+                 [this] { return local_->stats().rowHits; });
+    m.addCounter("local.row_misses",
+                 [this] { return local_->stats().rowMisses; });
+
+    m.addCounter("llc.hits",
+                 [this] { return caches_->llcStats().hits; });
+    m.addCounter("llc.misses",
+                 [this] { return caches_->llcStats().misses; });
+    m.addCounter("llc.dirty_evictions",
+                 [this] { return caches_->llcStats().dirtyEvictions; });
+
+    if (remote_) {
+        m.addCounter("remote.reads",
+                     [this] { return remote_->stats().reads; });
+        m.addCounter("remote.writes",
+                     [this] { return remote_->stats().writes; });
+        m.addCounter("upi.bytes_down",
+                     [this] { return remote_->bytesDown(); });
+        m.addCounter("upi.bytes_up",
+                     [this] { return remote_->bytesUp(); });
+    }
+    if (cxl_) {
+        m.addCounter("cxl.reads",
+                     [this] { return cxl_->backendStats().reads; });
+        m.addCounter("cxl.writes",
+                     [this] { return cxl_->backendStats().writes; });
+        m.addCounter("cxl.row_hits",
+                     [this] { return cxl_->backendStats().rowHits; });
+        m.addCounter("cxl.row_misses",
+                     [this] { return cxl_->backendStats().rowMisses; });
+        m.addCounter("cxl.bytes_m2s", [this] { return cxl_->bytesDown(); });
+        m.addCounter("cxl.bytes_s2m", [this] { return cxl_->bytesUp(); });
+        m.addCounter("cxl.reads_stalled", [this] {
+            return cxl_->controllerStats().readsStalled;
+        });
+        m.addCounter("cxl.writes_stalled", [this] {
+            return cxl_->controllerStats().writesStalled;
+        });
+        m.addGauge("cxl.reads_in_flight", [this] {
+            return static_cast<double>(cxl_->readsInFlight());
+        });
+        m.addGauge("cxl.writes_buffered", [this] {
+            return static_cast<double>(cxl_->writesBuffered());
+        });
+        m.addGauge("cxl.read_wait_depth", [this] {
+            return static_cast<double>(cxl_->readWaitDepth());
+        });
+        m.addGauge("cxl.write_wait_depth", [this] {
+            return static_cast<double>(cxl_->writeWaitDepth());
+        });
+        if (qosSpec_.enabled()) {
+            m.addGauge("cxl.dev_load", [this] { return cxl_->devLoad(); });
+            m.addGauge("cxl.credit_wait_depth", [this] {
+                return static_cast<double>(cxl_->creditWaitDepth());
+            });
+        }
+    }
+    if (faults_) {
+        m.addCounter("ras.crc_errors",
+                     [this] { return faults_->stats().crcErrors; });
+        m.addCounter("ras.link_retries",
+                     [this] { return faults_->stats().linkRetries; });
+        m.addCounter("ras.timeouts",
+                     [this] { return faults_->stats().timeouts; });
+        m.addCounter("ras.host_retries",
+                     [this] { return faults_->stats().hostRetries; });
+    }
 }
 
 NodeId
@@ -326,14 +439,29 @@ Machine::statsString() const
                    : 0.0)
            << "%\n";
     };
+    // Per-component access-latency histograms (only when enabled by
+    // ObservabilityOptions::latencyHistograms and non-empty).
+    auto hist_line = [&os](const std::string &label,
+                           const LatencyHistogram *h) {
+        if (!h || h->empty())
+            return;
+        os << "    lat " << label << ": n=" << h->count() << ", avg "
+           << h->mean() / tickPerNs << " ns, p50 "
+           << h->p50() / tickPerNs << " ns, p99 "
+           << h->p99() / tickPerNs << " ns, max "
+           << static_cast<double>(h->max()) / tickPerNs << " ns\n";
+    };
     dev_line("local-ddr5 ", local_->stats());
+    hist_line("local-ddr5", local_->latencyHistogram());
     if (remote_) {
         dev_line("remote-ddr5", remote_->stats());
+        hist_line("remote-ddr5", remote_->latencyHistogram());
         os << "    upi bytes: down " << remote_->bytesDown() / kiB
            << " KiB, up " << remote_->bytesUp() / kiB << " KiB\n";
     }
     if (cxl_) {
         dev_line("cxl-dram   ", cxl_->backendStats());
+        hist_line("cxl-dram", cxl_->latencyHistogram());
         os << "    link bytes: M2S " << cxl_->bytesDown() / kiB
            << " KiB, S2M " << cxl_->bytesUp() / kiB << " KiB\n";
         const CxlControllerStats &cs = cxl_->controllerStats();

@@ -22,7 +22,10 @@
 #include "numa/numa.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
+#include "sim/metrics.hh"
+#include "sim/observability.hh"
 #include "sim/qos.hh"
+#include "sim/trace.hh"
 #include "sim/watchdog.hh"
 
 namespace cxlmemo
@@ -71,6 +74,13 @@ struct MachineOptions
     /** Forward-progress watchdog snapshot interval; 0 (the default)
      *  builds no watchdog and schedules no events. */
     Tick watchdogInterval = 0;
+
+    /** Flight-recorder configuration: request-lifecycle tracing,
+     *  interval metrics and per-component latency histograms. The
+     *  default (all off) builds no tracer, no registry, no sampler
+     *  and enables no histograms -- timing and statistics are
+     *  bit-identical to a machine without the observability layer. */
+    ObservabilityOptions obs;
 };
 
 /**
@@ -128,13 +138,31 @@ class Machine
     /** Forward-progress watchdog (nullptr when disabled). */
     Watchdog *watchdog() { return watchdog_.get(); }
 
-    /** Restart the watchdog snapshot cycle; call before pushing new
-     *  work after the event queue quiesced (no-op when disabled). */
+    /** Request-lifecycle tracer (nullptr when tracing is disabled). */
+    RequestTracer *tracer() { return tracer_.get(); }
+
+    /** Interval-metrics registry (nullptr when metrics are disabled). */
+    MetricsRegistry *metrics() { return metrics_.get(); }
+
+    /** Emit the final metrics snapshot plus end-of-run totals (no-op
+     *  when metrics are disabled; idempotent). */
+    void
+    flushMetrics()
+    {
+        if (metrics_)
+            metrics_->flush(eq_.curTick());
+    }
+
+    /** Restart the watchdog snapshot cycle and the metrics sampler;
+     *  call before pushing new work after the event queue quiesced
+     *  (no-op when both are disabled). */
     void
     rearmWatchdog()
     {
         if (watchdog_)
             watchdog_->arm();
+        if (sampler_)
+            sampler_->arm();
     }
 
     /** Create a thread pinned to @p core with this machine's core
@@ -170,7 +198,13 @@ class Machine
     QosSpec qosSpec_;
     std::unique_ptr<HostThrottle> throttle_;
     std::unique_ptr<Watchdog> watchdog_;
+    std::unique_ptr<RequestTracer> tracer_;
+    std::unique_ptr<MetricsRegistry> metrics_;
+    std::unique_ptr<MetricsSampler> sampler_;
     CoreParams coreParams_;
+
+    /** Register component counters/gauges with metrics_. */
+    void registerMetrics();
 
     NodeId localNode_ = 0;
     NodeId remoteNode_ = 0;

@@ -232,6 +232,132 @@ TEST(MemoCli, DefaultsAreSane)
     EXPECT_EQ(cfg->seed, 42u);
 }
 
+TEST(MemoCli, ObservabilityFlagsParse)
+{
+    auto cfg = parse({"--mode", "seq", "--trace-out", "t.json",
+                      "--trace-sample", "1/32", "--metrics-out",
+                      "m.csv", "--metrics-interval-ns", "250",
+                      "--histograms"});
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->traceOut, "t.json");
+    EXPECT_EQ(cfg->traceSampleEvery, 32u);
+    EXPECT_EQ(cfg->metricsOut, "m.csv");
+    EXPECT_EQ(cfg->metricsIntervalNs, 250u);
+    EXPECT_TRUE(cfg->histograms);
+
+    const ObservabilityOptions obs = cfg->observability();
+    EXPECT_EQ(obs.traceSampleEvery, 32u);
+    EXPECT_EQ(obs.metricsInterval, ticksFromNs(250.0));
+    EXPECT_TRUE(obs.latencyHistograms);
+    EXPECT_TRUE(obs.enabled());
+}
+
+TEST(MemoCli, EqualsFormAcceptedEverywhere)
+{
+    auto cfg = parse({"--mode=rand", "--target=cxl", "--op=nt-store",
+                      "--threads=1,2", "--block=16K",
+                      "--trace-out=x.json", "--jobs=4"});
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->mode, CliMode::Rand);
+    EXPECT_EQ(cfg->target, Target::Cxl);
+    EXPECT_EQ(cfg->op, MemOp::Kind::NtStore);
+    EXPECT_EQ(cfg->threads, (std::vector<std::uint32_t>{1, 2}));
+    EXPECT_EQ(cfg->blockBytes, (std::vector<std::uint64_t>{16 * kiB}));
+    EXPECT_EQ(cfg->traceOut, "x.json");
+    EXPECT_EQ(cfg->jobs, 4u);
+
+    // Values containing '=' (spec strings) still parse.
+    auto fs = parse({"--mode", "seq", "--fault-spec=crc=1e-4"});
+    ASSERT_TRUE(fs.has_value());
+    EXPECT_TRUE(fs->faults.enabled());
+}
+
+TEST(MemoCli, ObservabilityDefaultsResolve)
+{
+    // All off by default: bit-identical machine.
+    auto off = parse({"--mode", "seq"});
+    ASSERT_TRUE(off.has_value());
+    EXPECT_FALSE(off->observability().enabled());
+
+    // --trace-out alone turns tracing on at the default 1/64 rate.
+    auto tr = parse({"--mode", "seq", "--trace-out", "t.json"});
+    ASSERT_TRUE(tr.has_value());
+    EXPECT_EQ(tr->observability().traceSampleEvery, 64u);
+
+    // --metrics-out alone samples at the default 1000 ns.
+    auto me = parse({"--mode", "seq", "--metrics-out", "m.csv"});
+    ASSERT_TRUE(me.has_value());
+    EXPECT_EQ(me->observability().metricsInterval, ticksFromNs(1000.0));
+
+    // An explicit sample rate enables the post-mortem ring even
+    // without an output file.
+    auto ring = parse({"--mode", "seq", "--trace-sample", "8"});
+    ASSERT_TRUE(ring.has_value());
+    EXPECT_EQ(ring->observability().traceSampleEvery, 8u);
+}
+
+TEST(MemoCli, ObservabilityFlagsRejectGarbage)
+{
+    EXPECT_FALSE(parse({"--mode", "seq", "--trace-sample", "0"}));
+    EXPECT_FALSE(parse({"--mode", "seq", "--trace-sample", "1/x"}));
+    EXPECT_FALSE(
+        parse({"--mode", "seq", "--metrics-interval-ns", "0"}));
+    EXPECT_FALSE(parse({"--mode", "seq", "--trace-out"}));
+}
+
+/** Count CSV columns (commas + 1). */
+std::size_t
+columns(const std::string &header)
+{
+    std::size_t n = 1;
+    for (char c : header)
+        if (c == ',')
+            ++n;
+    return n;
+}
+
+TEST(MemoCli, CsvHeaderMatchesPreObservabilityBaseWhenAllOff)
+{
+    EXPECT_EQ(csvHeader(CliMode::Latency, false, false, false),
+              "target,ld,st+wb,nt-st,ptr-chase");
+    EXPECT_EQ(csvHeader(CliMode::Seq, false, false, false),
+              "target,op,threads,gbps");
+    EXPECT_EQ(csvHeader(CliMode::Rand, false, false, false),
+              "target,op,block,threads,gbps");
+    EXPECT_EQ(csvHeader(CliMode::Chase, false, false, false),
+              "target,wss,ns");
+    EXPECT_EQ(csvHeader(CliMode::Copy, false, false, false),
+              "path,method,batch,gbps");
+    EXPECT_EQ(csvHeader(CliMode::Loaded, false, false, false),
+              "target,threads,ns");
+}
+
+TEST(MemoCli, CsvHeaderColumnSetStableAcrossGroups)
+{
+    // As soon as any optional group is active, the full superset is
+    // emitted: the column set (and count) is identical no matter
+    // which combination of RAS / QoS / histograms is on, so sweep
+    // outputs from different configurations merge cleanly.
+    for (CliMode mode : {CliMode::Latency, CliMode::Seq, CliMode::Rand,
+                         CliMode::Chase, CliMode::Copy,
+                         CliMode::Loaded}) {
+        const std::string all = csvHeader(mode, true, true, true);
+        EXPECT_EQ(csvHeader(mode, true, false, false), all);
+        EXPECT_EQ(csvHeader(mode, false, true, false), all);
+        EXPECT_EQ(csvHeader(mode, false, false, true), all);
+        // Exactly one header row's worth of extra columns: 10 RAS +
+        // 6 QoS + 5 histogram. Loaded additionally swaps its single
+        // "ns" column for the avg/p50/p99 distribution (+2).
+        const std::string base = csvHeader(mode, false, false, false);
+        const std::size_t swap = mode == CliMode::Loaded ? 2 : 0;
+        EXPECT_EQ(columns(all), columns(base) + 21 + swap);
+        // Histogram columns ride at the end.
+        EXPECT_NE(all.find(",lat_n,lat_avg_ns,lat_p50_ns,lat_p99_ns,"
+                           "lat_max_ns"),
+                  std::string::npos);
+    }
+}
+
 } // namespace
 } // namespace memo
 } // namespace cxlmemo
