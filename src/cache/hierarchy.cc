@@ -147,13 +147,18 @@ CacheHierarchy::fillLlc(std::uint16_t core, std::uint64_t la, LineState st,
 void
 CacheHierarchy::missToMemory(std::uint16_t core, std::uint64_t la,
                              Tick dispatch, bool rfo, Done cb,
-                             TraceSpan *span)
+                             TraceSpan *span, bool attrib, Tick issued)
 {
     if (!recentlyFlushed_.empty() && recentlyFlushed_.erase(la) > 0
         && numa_.node(nodeOfPaddr(paddrOfLine(la))).flushHandshake) {
         dispatch += params_.flushHandshakePenalty;
     }
-    eq_.schedule(dispatch, [this, core, la, rfo, span,
+    // Lookup latency plus the uncore hop: all of it is pipeline delay
+    // (service), none of it contention.
+    if (station_)
+        station_->passThrough(0, dispatch - issued,
+                              dispatch - issued, attrib, dispatch);
+    eq_.schedule(dispatch, [this, core, la, rfo, span, attrib,
                             cb = std::move(cb)]() mutable {
         Addr local = 0;
         MemoryDevice &dev = numa_.route(paddrOfLine(la), local);
@@ -163,6 +168,7 @@ CacheHierarchy::missToMemory(std::uint16_t core, std::uint64_t la,
         req.cmd = MemCmd::Read;
         req.source = core;
         req.span = span;
+        req.attrib = attrib;
         req.onComplete = [this, core, la, rfo,
                           cb = std::move(cb)](Tick t) {
             // The memory device arms poison on the response just
@@ -269,6 +275,7 @@ std::optional<Tick>
 CacheHierarchy::load(std::uint16_t core, Addr paddr, Tick at, Done cb,
                      TraceSpan *span)
 {
+    const Tick issued = at;
     at += tlbCharge(core, paddr);
     RequestTracer::mark(span, TraceStage::Cache, at);
     const std::uint64_t la = lineOf(paddr);
@@ -279,6 +286,9 @@ CacheHierarchy::load(std::uint16_t core, Addr paddr, Tick at, Done cb,
     if (l1.find(la)) {
         l1.stats().hits++;
         notePoisonHit(la);
+        if (station_)
+            station_->passThrough(0, at + lat - issued,
+                                  at + lat - issued, true, at + lat);
         return at + lat;
     }
     l1.stats().misses++;
@@ -296,6 +306,9 @@ CacheHierarchy::load(std::uint16_t core, Addr paddr, Tick at, Done cb,
                                                   : LineState::Exclusive,
                at + lat);
         notePoisonHit(la);
+        if (station_)
+            station_->passThrough(0, at + lat - issued,
+                                  at + lat - issued, true, at + lat);
         return at + lat;
     }
     l2.stats().misses++;
@@ -311,12 +324,16 @@ CacheHierarchy::load(std::uint16_t core, Addr paddr, Tick at, Done cb,
         fillL2(core, la, st, at + lat);
         fillL1(core, la, st, at + lat);
         notePoisonHit(la);
+        if (station_)
+            station_->passThrough(0, at + lat - issued,
+                                  at + lat - issued, true, at + lat);
         return at + lat;
     }
     llc_->stats().misses++;
 
     missToMemory(core, la, at + lat + params_.uncoreLatency, false,
-                 std::move(cb), span);
+                 std::move(cb), span, /*attrib=*/station_ != nullptr,
+                 issued);
     return std::nullopt;
 }
 
@@ -324,6 +341,7 @@ std::optional<Tick>
 CacheHierarchy::store(std::uint16_t core, Addr paddr, Tick at, Done cb,
                       TraceSpan *span)
 {
+    const Tick issued = at;
     at += tlbCharge(core, paddr);
     RequestTracer::mark(span, TraceStage::Cache, at);
     const std::uint64_t la = lineOf(paddr);
@@ -334,6 +352,9 @@ CacheHierarchy::store(std::uint16_t core, Addr paddr, Tick at, Done cb,
     if (auto *line = l1.find(la)) {
         l1.stats().hits++;
         line->state = LineState::Modified;
+        if (station_)
+            station_->passThrough(0, at + lat - issued,
+                                  at + lat - issued, false, at + lat);
         return at + lat;
     }
     l1.stats().misses++;
@@ -345,6 +366,9 @@ CacheHierarchy::store(std::uint16_t core, Addr paddr, Tick at, Done cb,
         fillL1(core, la, LineState::Modified, at + lat);
         if (was_dirty)
             line->state = LineState::Exclusive; // dirtiness moved to L1
+        if (station_)
+            station_->passThrough(0, at + lat - issued,
+                                  at + lat - issued, false, at + lat);
         return at + lat;
     }
     l2.stats().misses++;
@@ -356,6 +380,9 @@ CacheHierarchy::store(std::uint16_t core, Addr paddr, Tick at, Done cb,
         llc_->stats().hits++;
         fillL2(core, la, LineState::Exclusive, at + lat);
         fillL1(core, la, LineState::Modified, at + lat);
+        if (station_)
+            station_->passThrough(0, at + lat - issued,
+                                  at + lat - issued, false, at + lat);
         return at + lat;
     }
     llc_->stats().misses++;
@@ -364,7 +391,7 @@ CacheHierarchy::store(std::uint16_t core, Addr paddr, Tick at, Done cb,
     // store can retire -- the behaviour the paper highlights as the
     // cause of poor temporal-store throughput on CXL.
     missToMemory(core, la, at + lat + params_.uncoreLatency, true,
-                 std::move(cb), span);
+                 std::move(cb), span, /*attrib=*/false, issued);
     return std::nullopt;
 }
 
@@ -372,6 +399,7 @@ void
 CacheHierarchy::ntStore(std::uint16_t core, Addr paddr, Tick at,
                         Done onAccept, Done onDrained, TraceSpan *span)
 {
+    const Tick issued = at;
     at += tlbCharge(core, paddr);
     const std::uint64_t la = lineOf(paddr);
     // A full-line NT store overwrites the line: cached copies are
@@ -383,6 +411,9 @@ CacheHierarchy::ntStore(std::uint16_t core, Addr paddr, Tick at,
 
     const Tick dispatch =
         at + params_.ntDispatchLatency + params_.uncoreLatency;
+    if (station_)
+        station_->passThrough(0, dispatch - issued,
+                              dispatch - issued, false, dispatch);
     eq_.schedule(dispatch,
                  [this, core, la, span, onAccept = std::move(onAccept),
                   onDrained = std::move(onDrained)]() mutable {
@@ -404,10 +435,15 @@ void
 CacheHierarchy::uncachedRead(std::uint16_t core, Addr paddr,
                              std::uint32_t size, Tick at, Done cb)
 {
+    const Tick issued = at;
     at += tlbCharge(core, paddr);
     const Tick dispatch =
         at + params_.l1.latency + params_.uncoreLatency;
-    eq_.schedule(dispatch, [this, core, paddr, size,
+    const bool attrib = station_ != nullptr;
+    if (station_)
+        station_->passThrough(0, dispatch - issued,
+                              dispatch - issued, attrib, dispatch);
+    eq_.schedule(dispatch, [this, core, paddr, size, attrib,
                             cb = std::move(cb)]() mutable {
         Addr local = 0;
         MemoryDevice &dev = numa_.route(paddr, local);
@@ -416,6 +452,7 @@ CacheHierarchy::uncachedRead(std::uint16_t core, Addr paddr,
         req.size = size;
         req.cmd = MemCmd::Read;
         req.source = core;
+        req.attrib = attrib;
         if (cb)
             req.onComplete = std::move(cb);
         dev.access(std::move(req));

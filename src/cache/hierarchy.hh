@@ -27,6 +27,7 @@
 
 #include "cache/cache.hh"
 #include "numa/numa.hh"
+#include "sim/attribution.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
 #include "sim/qos.hh"
@@ -177,6 +178,15 @@ class CacheHierarchy
      *  default: cores never open spans, devices see null spans). */
     void setTracer(RequestTracer *t) { tracer_ = t; }
 
+    /**
+     * Attach a latency-accounting station covering the lookup path
+     * (L1/L2/LLC latency plus the uncore hop on a miss). Demand loads
+     * and uncached reads dispatched to memory while a station is
+     * attached are flagged for bracketed latency-stack accounting
+     * downstream. nullptr disables (the default).
+     */
+    void setStation(AccountedStation *st) { station_ = st; }
+
     /** The tracer cores sample spans from (nullptr = tracing off). */
     RequestTracer *tracer() const { return tracer_; }
 
@@ -245,9 +255,12 @@ class CacheHierarchy
     void fillLlc(std::uint16_t core, std::uint64_t la, LineState st,
                  Tick at);
 
-    /** Fetch a line from memory and fill the hierarchy. */
+    /** Fetch a line from memory and fill the hierarchy. @p issued is
+     *  the tick the access entered the hierarchy (latency accounting);
+     *  @p attrib flags the request for the bracketed latency stack. */
     void missToMemory(std::uint16_t core, std::uint64_t la, Tick dispatch,
-                      bool rfo, Done cb, TraceSpan *span = nullptr);
+                      bool rfo, Done cb, TraceSpan *span = nullptr,
+                      bool attrib = false, Tick issued = 0);
 
     /** Fire-and-forget dirty eviction to the line's home device. */
     void writebackLine(std::uint64_t la, std::uint16_t source, Tick at,
@@ -303,6 +316,8 @@ class CacheHierarchy
     NodeId qosNode_ = 0;
 
     RequestTracer *tracer_ = nullptr;
+
+    AccountedStation *station_ = nullptr;
 
     FaultInjector *faults_ = nullptr;
     /** Cached lines whose data carries poison from a faulty read. */

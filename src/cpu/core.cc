@@ -51,6 +51,12 @@ HwThread::beginSpan(MemCmd cmd, Addr paddr)
     if (pendingBlocked_) {
         pendingBlocked_ = false;
         stats_.resourceStallTicks += localTime_ - pendingBlockedSince_;
+        if (stLfb_) {
+            stLfb_->exitNow(localTime_);
+            stLfb_->account(localTime_ - pendingBlockedSince_, 0,
+                            /*busy=*/0, cmd == MemCmd::Read,
+                            localTime_);
+        }
         t0 = pendingBlockedSince_;
     }
     RequestTracer *tr = hier_.tracer();
@@ -137,17 +143,25 @@ HwThread::tryIssue()
                 noteBlocked();
                 return;
             }
+            // The bracketed end-to-end latency starts when the op
+            // first wanted to issue (same origin as the trace span).
+            const Tick t0 =
+                pendingBlocked_ ? pendingBlockedSince_ : localTime_;
             TraceSpan *span = beginSpan(MemCmd::Read, op.paddr);
             localTime_ += params_.issueCost;
             const bool dependent = op.kind == MemOp::Kind::DependentLoad;
             stats_.loads++;
             stats_.bytesRead += cachelineBytes;
+            if (board_)
+                board_->beginRequest(t0);
             auto done = hier_.load(core_, op.paddr, localTime_,
-                                   [this, span](Tick t) {
+                                   [this, span, t0](Tick t) {
                 CXLMEMO_ASSERT(outstandingLoads_ > 0, "load underflow");
                 --outstandingLoads_;
                 if (hier_.takeDeliveryPoison())
                     stats_.poisonedLoads++;
+                if (board_)
+                    board_->completeRequest(t0, t);
                 lastCompletion_ = std::max(lastCompletion_, t);
                 lastValueReady_ = std::max(lastValueReady_, t);
                 if (span)
@@ -157,6 +171,8 @@ HwThread::tryIssue()
             if (done) {
                 if (hier_.takeDeliveryPoison())
                     stats_.poisonedLoads++;
+                if (board_)
+                    board_->completeRequest(t0, *done);
                 lastCompletion_ = std::max(lastCompletion_, *done);
                 lastValueReady_ = std::max(lastValueReady_, *done);
                 if (dependent)
@@ -245,14 +261,19 @@ HwThread::tryIssue()
           case MemOp::Kind::UncachedRead: {
             if (outstandingLoads_ >= params_.loadFillBuffers)
                 return;
+            const Tick t0 = localTime_;
             localTime_ += params_.issueCost;
             stats_.uncachedReads++;
             stats_.bytesRead += cachelineBytes;
             ++outstandingLoads_;
+            if (board_)
+                board_->beginRequest(t0);
             hier_.uncachedRead(core_, op.paddr, cachelineBytes, localTime_,
-                               [this](Tick t) {
+                               [this, t0](Tick t) {
                 CXLMEMO_ASSERT(outstandingLoads_ > 0, "ucread underflow");
                 --outstandingLoads_;
+                if (board_)
+                    board_->completeRequest(t0, t);
                 lastCompletion_ = std::max(lastCompletion_, t);
                 lastValueReady_ = std::max(lastValueReady_, t);
                 tryIssue();
@@ -269,6 +290,7 @@ HwThread::tryIssue()
                 || outstandingNt_ >= params_.wcBuffers) {
                 return;
             }
+            const Tick t0 = localTime_;
             localTime_ += params_.issueCost;
             stats_.uncachedReads++;
             stats_.ntStores++;
@@ -278,10 +300,14 @@ HwThread::tryIssue()
             ++outstandingNt_;
             ++pendingNtDrain_;
             const Addr dst = op.paddr2;
+            if (board_)
+                board_->beginRequest(t0);
             hier_.uncachedRead(core_, op.paddr, cachelineBytes,
-                               localTime_, [this, dst](Tick t) {
+                               localTime_, [this, dst, t0](Tick t) {
                 CXLMEMO_ASSERT(outstandingLoads_ > 0, "mov64 underflow");
                 --outstandingLoads_;
+                if (board_)
+                    board_->completeRequest(t0, t);
                 lastCompletion_ = std::max(lastCompletion_, t);
                 if (const Tick pace = hier_.qosIssueDelay(core_, dst, t)) {
                     t += pace;

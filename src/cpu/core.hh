@@ -27,6 +27,7 @@
 #include <memory>
 
 #include "cache/hierarchy.hh"
+#include "sim/attribution.hh"
 #include "sim/types.hh"
 
 namespace cxlmemo
@@ -145,6 +146,19 @@ class HwThread
     /** Local clock (valid while running; equals end tick after). */
     Tick localTime() const { return localTime_; }
 
+    /**
+     * Wire up latency attribution: issue-point blocks (full fill /
+     * WC / store buffer) feed the core.lfb station, and every demand
+     * read retires its end-to-end latency into the board's bracket.
+     * nullptr disables (the default).
+     */
+    void
+    setAttribution(AttributionBoard *board)
+    {
+        board_ = board;
+        stLfb_ = board ? &board->station(StationId::CoreLfb) : nullptr;
+    }
+
   private:
     void tryIssue();
     void maybeFinish();
@@ -157,6 +171,8 @@ class HwThread
         if (!pendingBlocked_) {
             pendingBlocked_ = true;
             pendingBlockedSince_ = localTime_;
+            if (stLfb_)
+                stLfb_->enter(localTime_);
         }
     }
 
@@ -196,6 +212,9 @@ class HwThread
     std::uint32_t outstandingNt_ = 0;     //!< posted but not accepted
     std::uint32_t pendingNtDrain_ = 0;    //!< accepted but not drained
     std::uint32_t outstandingFlushes_ = 0;
+
+    AttributionBoard *board_ = nullptr;
+    AccountedStation *stLfb_ = nullptr;
 
     ThreadStats stats_;
 };

@@ -53,6 +53,28 @@ CxlMemDevice::CxlMemDevice(EventQueue &eq, CxlDeviceParams params,
 }
 
 void
+CxlMemDevice::setAttribution(AttributionBoard *board)
+{
+    board_ = board;
+    stCredit_ = &board->station(StationId::CxlCredit);
+    stIngress_ = &board->station(StationId::CxlIngress);
+    stEgress_ = &board->station(StationId::CxlEgress);
+    down_.setStation(&board->station(StationId::CxlM2s));
+    up_.setStation(&board->station(StationId::CxlS2m));
+    backend_->setStation(&board->station(StationId::CxlBackend));
+    board->setServers(StationId::CxlCredit, params_.hostPostedEntries,
+                      /*buffer=*/true);
+    // The read tracker and the write buffer gate independent message
+    // classes; the binding class fills its own capacity, so the
+    // utilization denominator is the larger of the two.
+    board->setServers(StationId::CxlIngress,
+                      std::max(params_.readQueueEntries,
+                               params_.writeBufferEntries),
+                      /*buffer=*/true);
+    board->setServers(StationId::CxlBackend, params_.backendChannels);
+}
+
+void
 CxlMemDevice::access(MemRequest req)
 {
     if (instrumented_)
@@ -69,6 +91,12 @@ CxlMemDevice::access(MemRequest req)
         if (ntPosted_ < params_.hostPostedEntries) {
             admitPosted(std::move(req));
         } else {
+            if (stCredit_) {
+                // Posted-window exhaustion is device backpressure felt
+                // at the host, like a credit stall.
+                stCredit_->enter(eq_.curTick());
+                req.attribMark = eq_.curTick();
+            }
             postedGate_.push_back(std::move(req));
         }
         return;
@@ -94,6 +122,12 @@ CxlMemDevice::admitPosted(MemRequest req)
         if (!postedGate_.empty()) {
             MemRequest waiting = std::move(postedGate_.front());
             postedGate_.pop_front();
+            if (stCredit_) {
+                const Tick now = eq_.curTick();
+                stCredit_->exitNow(now);
+                stCredit_->account(now - waiting.attribMark, 0,
+                                   /*busy=*/0, waiting.attrib, now);
+            }
             admitPosted(std::move(waiting));
         }
         if (drained)
@@ -113,6 +147,8 @@ CxlMemDevice::dispatch(MemRequest req)
             // is accounted when the freeing response wakes us.
             RequestTracer::mark(req.span, TraceStage::CxlCredit,
                                 eq_.curTick());
+            if (stCredit_)
+                stCredit_->enter(eq_.curTick());
             auto &wait = isWrite(req.cmd) ? wrCreditWait_ : rdCreditWait_;
             wait.emplace_back(std::move(req), eq_.curTick());
             qosSample();
@@ -165,6 +201,11 @@ CxlMemDevice::releaseCredit(bool write, Tick now)
             write ? popCreditWaiter(wait, wrServeSource_, wrServeRun_)
                   : popCreditWaiter(wait, rdServeSource_, rdServeRun_);
         pool.noteStallEnd(now - since);
+        if (stCredit_) {
+            stCredit_->exitNow(now);
+            stCredit_->account(now - since, 0, /*busy=*/0, req.attrib,
+                               now);
+        }
         if (req.source >= sourceCreditStall_.size())
             sourceCreditStall_.resize(req.source + 1);
         sourceCreditStall_[req.source] += now - since;
@@ -227,7 +268,7 @@ CxlMemDevice::dispatchAttempt(MemRequest req, std::uint32_t attempt)
             // The attempt goes out on the wire but the controller never
             // answers: the host burns the link capacity, waits out its
             // completion timer, backs off exponentially and reissues.
-            down_.transmit(cost);
+            down_.transmit(cost, req.attrib);
             RasStats &rs = faults_->stats();
             rs.timeouts++;
             rs.hostRetries++;
@@ -245,7 +286,7 @@ CxlMemDevice::dispatchAttempt(MemRequest req, std::uint32_t attempt)
     }
 
     RequestTracer::mark(req.span, TraceStage::CxlM2s, eq_.curTick());
-    const Tick delivered = down_.transmit(cost);
+    const Tick delivered = down_.transmit(cost, req.attrib);
     const Tick at_controller = delivered + params_.controllerIngress;
     eq_.schedule(at_controller, [this, write, r = std::move(req)]() mutable {
         if (write)
@@ -259,6 +300,16 @@ void
 CxlMemDevice::readArrived(MemRequest req)
 {
     RequestTracer::mark(req.span, TraceStage::CxlIngress, eq_.curTick());
+    if (board_)
+        board_->noteDeviceOp(/*write=*/false);
+    if (stIngress_) {
+        // Two station visits: the fixed ingress pipeline, then
+        // residency in the read tracker (begins now, even if the
+        // request first sits in the overflow wait queue).
+        stIngress_->passThrough(0, params_.controllerIngress, /*busy=*/0,
+                                req.attrib, eq_.curTick());
+        stIngress_->enter(eq_.curTick());
+    }
     if (readsInFlight_ < params_.readQueueEntries) {
         admitRead(std::move(req));
     } else {
@@ -272,6 +323,13 @@ void
 CxlMemDevice::writeArrived(MemRequest req)
 {
     RequestTracer::mark(req.span, TraceStage::CxlIngress, eq_.curTick());
+    if (board_)
+        board_->noteDeviceOp(/*write=*/true);
+    if (stIngress_) {
+        stIngress_->passThrough(0, params_.controllerIngress, /*busy=*/0,
+                                req.attrib, eq_.curTick());
+        stIngress_->enter(eq_.curTick());
+    }
     if (writesBuffered_ < params_.writeBufferEntries) {
         admitWrite(std::move(req));
     } else {
@@ -285,21 +343,36 @@ void
 CxlMemDevice::admitRead(MemRequest req)
 {
     ++readsInFlight_;
+    if (stIngress_)
+        req.attribMark = eq_.curTick();
     MemRequest backend_req;
     backend_req.addr = req.addr;
     backend_req.size = req.size;
     backend_req.cmd = req.cmd;
     backend_req.span = req.span;
+    backend_req.attrib = req.attrib;
     backend_req.onComplete =
-        [this, span = req.span, addr = req.addr,
+        [this, span = req.span, addr = req.addr, attrib = req.attrib,
+         mark = req.attribMark,
          cb = std::move(req.onComplete)](Tick) mutable {
             // Data is back from DDR4: free the tracker, then pipe the
             // response through the egress pipeline and the S2M link.
             CXLMEMO_ASSERT(readsInFlight_ > 0, "read tracker underflow");
             --readsInFlight_;
+            if (stIngress_) {
+                // Tracker residency overlaps the back-end service, so
+                // it is all-traffic occupancy/service, never part of
+                // the bracketed latency stack (no double counting).
+                stIngress_->exitNow(eq_.curTick());
+                stIngress_->account(0, eq_.curTick() - mark, /*busy=*/0,
+                                    false, eq_.curTick());
+            }
             if (!readWaitQueue_.empty()) {
                 auto [waiting, since] = readWaitQueue_.pop();
                 ctrlStats_.readStallTicks += eq_.curTick() - since;
+                if (stIngress_)
+                    stIngress_->account(eq_.curTick() - since, 0, /*busy=*/0,
+                                        waiting.attrib, eq_.curTick());
                 admitRead(std::move(waiting));
             }
             // The DRAM array may hand back a poisoned line; the DRS
@@ -311,12 +384,18 @@ CxlMemDevice::admitRead(MemRequest req)
             qosSample();
             RequestTracer::mark(span, TraceStage::CxlEgress,
                                 eq_.curTick());
+            if (stEgress_)
+                stEgress_->passThrough(0, params_.controllerEgress, /*busy=*/0,
+                                       attrib,
+                                       eq_.curTick()
+                                           + params_.controllerEgress);
             eq_.scheduleIn(params_.controllerEgress,
-                           [this, poisoned, span, addr,
+                           [this, poisoned, span, addr, attrib,
                             cb = std::move(cb)]() mutable {
                 RequestTracer::mark(span, TraceStage::CxlS2m,
                                     eq_.curTick());
-                const Tick arrive = up_.transmit(params_.link.dataBytes);
+                const Tick arrive =
+                    up_.transmit(params_.link.dataBytes, attrib);
                 // The S2M DRS delivery also carries the read-class
                 // credit and the DevLoad field back to the host, so
                 // instrumented devices need the event even for
@@ -353,6 +432,8 @@ CxlMemDevice::admitWrite(MemRequest req)
     ++writesBuffered_;
     ctrlStats_.writeBufferHighWater =
         std::max(ctrlStats_.writeBufferHighWater, writesBuffered_);
+    if (stIngress_)
+        req.attribMark = eq_.curTick();
 
     // CXL.mem acknowledges a write (S2M NDR) once the controller has
     // accepted the data; draining to DDR4 happens in the background.
@@ -360,7 +441,7 @@ CxlMemDevice::admitWrite(MemRequest req)
     // (The background drain is a fresh request with no span: the
     // traced lifecycle ends at the acknowledgement the host observes.)
     RequestTracer::mark(req.span, TraceStage::CxlS2m, eq_.curTick());
-    const Tick arrive = up_.transmit(params_.link.headerBytes);
+    const Tick arrive = up_.transmit(params_.link.headerBytes, req.attrib);
     if (req.onComplete || instrumented_) {
         eq_.schedule(arrive, [this, cb = std::move(req.onComplete),
                               arrive]() mutable {
@@ -374,14 +455,22 @@ CxlMemDevice::admitWrite(MemRequest req)
     drain.addr = req.addr;
     drain.size = req.size;
     drain.cmd = req.cmd;
-    drain.onComplete = [this](Tick) {
+    drain.onComplete = [this, mark = req.attribMark](Tick) {
         CXLMEMO_ASSERT(writesBuffered_ > 0, "write buffer underflow");
         --writesBuffered_;
+        if (stIngress_) {
+            stIngress_->exitNow(eq_.curTick());
+            stIngress_->account(0, eq_.curTick() - mark, /*busy=*/0,
+                                false, eq_.curTick());
+        }
         if (instrumented_)
             ++retired_; // a drained line is forward progress too
         if (!writeWaitQueue_.empty()) {
             auto [waiting, since] = writeWaitQueue_.pop();
             ctrlStats_.writeStallTicks += eq_.curTick() - since;
+            if (stIngress_)
+                stIngress_->account(eq_.curTick() - since, 0, /*busy=*/0,
+                                    waiting.attrib, eq_.curTick());
             admitWrite(std::move(waiting));
         }
         qosSample();

@@ -212,6 +212,12 @@ class CxlMemDevice : public MemoryDevice, public ProgressSource
         return latHist_.get();
     }
 
+    /** Attach the latency-accounting board: wires the credit gate,
+     *  controller ingress/egress, both link directions and the
+     *  back-end channels to their stations (sim/attribution.hh).
+     *  Never called = all accounting off (the default). */
+    void setAttribution(AttributionBoard *board);
+
     /** M2S credit pools (nullptr when credits are disabled). */
     const LinkCredits *credits() const { return down_.credits(); }
 
@@ -330,6 +336,12 @@ class CxlMemDevice : public MemoryDevice, public ProgressSource
 
     /* observability (nullptr unless enabled) */
     std::unique_ptr<LatencyHistogram> latHist_;
+
+    /* latency accounting (all nullptr unless setAttribution ran) */
+    AttributionBoard *board_ = nullptr;
+    AccountedStation *stCredit_ = nullptr;
+    AccountedStation *stIngress_ = nullptr;
+    AccountedStation *stEgress_ = nullptr;
 
     CxlControllerStats ctrlStats_;
 };

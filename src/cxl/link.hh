@@ -29,6 +29,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/attribution.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
 #include "sim/qos.hh"
@@ -107,9 +108,11 @@ class CxlLinkDirection
     /**
      * Transmit @p bytes of link capacity starting no earlier than now;
      * @return the tick the message is fully delivered at the far end.
+     * @p attrib adds the wait/serialization split to the bracketed
+     * latency stack of the attached station (if any).
      */
     Tick
-    transmit(std::uint32_t bytes)
+    transmit(std::uint32_t bytes, bool attrib = false)
     {
         const Tick now = eq_.curTick();
         const Tick start = std::max(now, freeAt_);
@@ -119,8 +122,18 @@ class CxlLinkDirection
         if (faults_)
             done = retryAfterCrc(done, bytes, eff);
         freeAt_ = done;
+        // Serialization is the busy (wire-occupancy) part; the
+        // propagation delay pipelines across in-flight flits.
+        if (station_)
+            station_->passThrough(start - now,
+                                  done - start + params_.propagation,
+                                  /*busy=*/done - start, attrib,
+                                  done + params_.propagation);
         return done + params_.propagation;
     }
+
+    /** Attach a latency-accounting station to this direction. */
+    void setStation(AccountedStation *station) { station_ = station; }
 
     std::uint64_t bytesMoved() const { return bytesMoved_; }
 
@@ -218,6 +231,7 @@ class CxlLinkDirection
     std::unique_ptr<LinkCredits> credits_;
     Tick freeAt_ = 0;
     std::uint64_t bytesMoved_ = 0;
+    AccountedStation *station_ = nullptr;
     std::uint32_t degradeLevel_ = 0;
     std::uint32_t errorsSinceDegrade_ = 0;
 };

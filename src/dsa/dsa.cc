@@ -40,7 +40,10 @@ Dsa::submitBatch(std::vector<DsaDescriptor> descs, Done onComplete)
     if (wqOccupancy_ >= params_.wqDepth)
         return false; // ENQCMD retry status
     ++wqOccupancy_;
-    wq_.push_back(Job{std::move(descs), std::move(onComplete)});
+    if (station_)
+        station_->enter(eq_.curTick());
+    wq_.push_back(Job{std::move(descs), std::move(onComplete),
+                      eq_.curTick()});
     // Submission cost is paid by the submitting thread (modelled by
     // the caller); dispatch proceeds after WQ arbitration.
     eq_.scheduleIn(params_.dispatchLatency, [this] { tryDispatch(); });
@@ -80,6 +83,7 @@ struct StreamState
     std::uint64_t cursor = 0;   //!< next byte to read
     std::uint64_t written = 0;  //!< bytes fully written
     std::uint32_t inFlight = 0;
+    Tick dispatched = 0; //!< engine grab time (latency accounting)
     /** Issue loop; cleared at descriptor end to break the ownership
      *  cycle (state -> pump closure -> state). */
     InlineCallback<void()> pump;
@@ -95,6 +99,10 @@ Dsa::runJob(std::uint32_t engine, Job job)
     st->descs = std::move(job.descs);
     st->onComplete = std::move(job.onComplete);
     st->idx = 0;
+    st->dispatched = eq_.curTick();
+    if (station_)
+        station_->account(eq_.curTick() - job.submitted, 0, /*busy=*/0,
+                          false, eq_.curTick());
 
     st->pump = [this, st] {
         const DsaDescriptor &d = st->descs[st->idx];
@@ -154,6 +162,15 @@ Dsa::runJob(std::uint32_t engine, Job job)
                     }
                     CXLMEMO_ASSERT(wqOccupancy_ > 0, "WQ underflow");
                     --wqOccupancy_;
+                    if (station_) {
+                        station_->exitNow(eq_.curTick());
+                        // An engine is genuinely serial per job: its
+                        // whole service time is busy occupancy.
+                        station_->account(0,
+                                          eq_.curTick() - st->dispatched,
+                                          eq_.curTick() - st->dispatched,
+                                          false, eq_.curTick());
+                    }
                     engineBusy_[st->engine] = false;
                     tryDispatch();
                 };

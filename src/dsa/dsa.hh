@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "numa/numa.hh"
+#include "sim/attribution.hh"
 #include "sim/event_queue.hh"
 
 namespace cxlmemo
@@ -99,11 +100,16 @@ class Dsa
     std::uint64_t bytesCopied() const { return bytesCopied_; }
     const DsaParams &params() const { return params_; }
 
+    /** Attach a latency-accounting station (WQ wait = queue, engine
+     *  execution = service; one job per WQ slot). */
+    void setStation(AccountedStation *station) { station_ = station; }
+
   private:
     struct Job
     {
         std::vector<DsaDescriptor> descs;
         Done onComplete;
+        Tick submitted = 0;
     };
 
     void tryDispatch();
@@ -116,6 +122,7 @@ class Dsa
     std::uint32_t wqOccupancy_ = 0;
     std::vector<bool> engineBusy_;
     std::uint64_t bytesCopied_ = 0;
+    AccountedStation *station_ = nullptr;
 };
 
 } // namespace cxlmemo

@@ -16,11 +16,18 @@ UpiRemoteMemory::UpiRemoteMemory(EventQueue &eq, UpiParams params)
 }
 
 Tick
-UpiRemoteMemory::transmit(Tick &freeAt, std::uint32_t bytes)
+UpiRemoteMemory::transmit(Tick &freeAt, std::uint32_t bytes, bool attrib)
 {
     const Tick start = std::max(eq_.curTick(), freeAt);
     const Tick done = start + serializationTicks(bytes, params_.linkGBps);
     freeAt = done;
+    // Only serialization occupies the wire; the hop latency is a
+    // pipeline delay shared by in-flight flits.
+    if (station_)
+        station_->passThrough(start - eq_.curTick(),
+                              done - start + params_.hopLatency,
+                              /*busy=*/done - start, attrib,
+                              done + params_.hopLatency);
     return done + params_.hopLatency;
 }
 
@@ -40,7 +47,7 @@ UpiRemoteMemory::access(MemRequest req)
     const std::uint32_t down_bytes =
         params_.headerBytes + (write ? req.size : 0);
     bytesDown_ += down_bytes;
-    const Tick delivered = transmit(downFreeAt_, down_bytes);
+    const Tick delivered = transmit(downFreeAt_, down_bytes, req.attrib);
 
     eq_.schedule(delivered, [this, write, r = std::move(req)]() mutable {
         MemRequest remote;
@@ -48,16 +55,17 @@ UpiRemoteMemory::access(MemRequest req)
         remote.size = r.size;
         remote.cmd = r.cmd;
         remote.span = r.span;
+        remote.attrib = r.attrib;
         // Posted-acceptance (NT stores) is signalled by the remote
         // channel's gate once the write arrives there.
         remote.onAccept = std::move(r.onAccept);
         remote.onComplete =
-            [this, write, size = r.size,
+            [this, write, size = r.size, attrib = r.attrib,
              cb = std::move(r.onComplete)](Tick) mutable {
                 const std::uint32_t up_bytes =
                     params_.headerBytes + (write ? 0 : size);
                 bytesUp_ += up_bytes;
-                const Tick arrive = transmit(upFreeAt_, up_bytes);
+                const Tick arrive = transmit(upFreeAt_, up_bytes, attrib);
                 if (cb)
                     eq_.schedule(arrive, [cb = std::move(cb),
                                           arrive] { cb(arrive); });

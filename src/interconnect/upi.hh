@@ -77,8 +77,19 @@ class UpiRemoteMemory : public MemoryDevice
         return latHist_.get();
     }
 
+    /** Attach a latency-accounting station to the UPI hop itself. */
+    void setStation(AccountedStation *station) { station_ = station; }
+
+    /** Attach a station shared with the host DRAM channels to the
+     *  remote socket's channels. */
+    void
+    setDramStation(AccountedStation *station)
+    {
+        memory_->setStation(station);
+    }
+
   private:
-    Tick transmit(Tick &freeAt, std::uint32_t bytes);
+    Tick transmit(Tick &freeAt, std::uint32_t bytes, bool attrib);
 
     EventQueue &eq_;
     UpiParams params_;
@@ -88,6 +99,7 @@ class UpiRemoteMemory : public MemoryDevice
     std::uint64_t bytesDown_ = 0;
     std::uint64_t bytesUp_ = 0;
     std::unique_ptr<LatencyHistogram> latHist_;
+    AccountedStation *station_ = nullptr;
 };
 
 } // namespace cxlmemo

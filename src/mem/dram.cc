@@ -82,6 +82,12 @@ DramChannel::access(MemRequest req)
 {
     CXLMEMO_ASSERT(req.size > 0, "zero-size access");
     RequestTracer::mark(req.span, TraceStage::Dram, eq_.curTick());
+    if (station_) {
+        // Queue accounting runs from here (covering fault stalls and
+        // the posted-write gate) until the bank scheduler issues.
+        station_->enter(eq_.curTick());
+        req.attribMark = eq_.curTick();
+    }
     // Transient channel stall (refresh storm, thermal throttle,
     // ECC-scrub collision): the request is held at the controller
     // front end for the episode before being admitted. Drawn at most
@@ -205,6 +211,14 @@ DramChannel::tryIssue(std::uint32_t bank_idx)
     });
 
     const Tick ready = now + params_.tFrontend + dev_latency;
+    if (station_) {
+        // The bank phase is service, not busy: banks overlap freely
+        // and saturation shows up on the shared data bus below.
+        station_->account(now - req.attribMark,
+                          params_.tFrontend + dev_latency, /*busy=*/0,
+                          req.attrib, ready);
+        req.attribMark = ready; // bus-queue wait starts at ready
+    }
     eq_.schedule(ready, [this, bank_idx, r = std::move(req)]() mutable {
         finishBankPhase(bank_idx, std::move(r));
     });
@@ -253,6 +267,9 @@ DramChannel::kickBus()
     ++directionRun_;
 
     const Tick done = start + busTime(req.size, write);
+    if (station_)
+        station_->account(start - req.attribMark, done - start,
+                          /*busy=*/done - start, req.attrib, done);
     if (write) {
         stats_.writes++;
         stats_.bytesWritten += req.size;
@@ -266,6 +283,8 @@ DramChannel::kickBus()
         CXLMEMO_ASSERT(outstanding_ > 0, "completion underflow");
         --outstanding_;
         busBusy_ = false;
+        if (station_)
+            station_->exitNow(done);
         if (r.onComplete)
             r.onComplete(done);
         kickBus();

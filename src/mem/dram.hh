@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "mem/request.hh"
+#include "sim/attribution.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
 #include "sim/histogram.hh"
@@ -139,6 +140,10 @@ class DramChannel : public MemoryDevice
     /** Requests accepted but not yet completed. */
     std::uint32_t outstanding() const { return outstanding_; }
 
+    /** Attach a latency-accounting station (nullptr = off, the
+     *  default; accounting never alters timing). */
+    void setStation(AccountedStation *station) { station_ = station; }
+
   private:
     struct Bank
     {
@@ -180,6 +185,7 @@ class DramChannel : public MemoryDevice
     std::uint32_t ntPosted_ = 0;
     std::deque<MemRequest> ntGate_;
     DeviceStats stats_;
+    AccountedStation *station_ = nullptr;
 };
 
 /**
@@ -229,6 +235,14 @@ class InterleavedMemory : public MemoryDevice
     const LatencyHistogram *latencyHistogram() const
     {
         return latHist_.get();
+    }
+
+    /** Attach a latency-accounting station shared by all channels. */
+    void
+    setStation(AccountedStation *station)
+    {
+        for (auto &ch : channels_)
+            ch->setStation(station);
     }
 
   private:

@@ -74,6 +74,25 @@ struct MemRequest
      *  arbiters in devices use it to round-robin across sources. */
     std::uint16_t source = 0;
 
+    /**
+     * True while this request belongs to an attribution-bracketed
+     * demand read (sim/attribution.hh): stations it passes through
+     * add their queue/service split to the end-to-end latency stack.
+     * Always false when attribution is disabled or for traffic that
+     * is not on a demand read's critical path (writebacks, prefetches,
+     * drains), which is accounted in station totals only.
+     */
+    bool attrib = false;
+
+    /**
+     * Attribution scratch timestamp: the tick this request entered
+     * the station currently processing it. Owned by that station
+     * alone (set on entry, consumed before handing the request to the
+     * next component), so one field serves the whole path. Unused
+     * (and never read) when attribution is disabled.
+     */
+    Tick attribMark = 0;
+
     /** Completion callbacks are move-only InlineCallbacks: a request's
      *  capture state (typically `this` + a continuation) stays inside
      *  the request itself, so queuing a MemRequest allocates nothing. */

@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "sim/attribution.hh"
 #include "sim/histogram.hh"
 #include "sim/sweep.hh"
 #include "sim/trace.hh"
@@ -55,6 +56,8 @@ parseMode(const std::string &s)
         return CliMode::Copy;
     if (s == "loaded")
         return CliMode::Loaded;
+    if (s == "report")
+        return CliMode::Report;
     if (s == "help")
         return CliMode::Help;
     return std::nullopt;
@@ -165,6 +168,8 @@ cliUsage()
         "  chase     pointer-chase WSS sweep (Fig. 2 right)\n"
         "  copy      data movement: memcpy/movdir64B/DSA (Fig. 4)\n"
         "  loaded    loaded-latency probe\n"
+        "  report    bandwidth sweep with a per-point latency\n"
+        "            breakdown table and bottleneck verdict\n"
         "\n"
         "options:\n"
         "  --target  ddr5-l8 | ddr5-r1 | cxl         (default ddr5-l8)\n"
@@ -204,6 +209,10 @@ cliUsage()
         "                (default 1000 when --metrics-out is given)\n"
         "  --histograms  per-component latency histograms (extra CSV\n"
         "                columns / report lines)\n"
+        "  --attrib      exhaustive latency accounting: per-station\n"
+        "                queue/service/utilization columns, the\n"
+        "                demand-read latency stack and an automatic\n"
+        "                bottleneck verdict (implied by --mode report)\n"
         "\n"
         "  --opt=value is accepted everywhere --opt value is.\n";
 }
@@ -219,6 +228,7 @@ CliConfig::observability() const
             metricsIntervalNs ? metricsIntervalNs : 1000));
     }
     obs.latencyHistograms = histograms;
+    obs.attribution = attrib || mode == CliMode::Report;
     return obs;
 }
 
@@ -478,6 +488,8 @@ parseCli(const std::vector<std::string> &rawArgs, std::string &error)
             ++i;
         } else if (a == "--histograms") {
             cfg.histograms = true;
+        } else if (a == "--attrib") {
+            cfg.attrib = true;
         } else if (a == "--prefetch") {
             cfg.prefetch = true;
         } else if (a == "--csv") {
@@ -522,6 +534,7 @@ struct PointResult
     RasStats ras;
     QosStats qos;
     LatencyHistogram hist;   //!< target-device access latency
+    AttribSnapshot attrib;   //!< latency-accounting roll-up
     std::string traceJson;   //!< comma-separated Chrome trace events
     std::string metricsRows; //!< long-format metrics timeline rows
 };
@@ -545,6 +558,22 @@ const char *
 histCsvColumns()
 {
     return ",lat_n,lat_avg_ns,lat_p50_ns,lat_p99_ns,lat_max_ns";
+}
+
+/** Per-station queue/service/utilization triplets plus the
+ *  stack summary -- one fragment per StationId, in enum order. */
+std::string
+attribCsvColumns()
+{
+    std::string cols;
+    for (std::size_t i = 0; i < numStations; ++i) {
+        const std::string c = stationColumn(static_cast<StationId>(i));
+        cols += ",attrib_" + c + "_q_ns,attrib_" + c + "_s_ns,attrib_"
+                + c + "_util";
+    }
+    cols += ",attrib_reqs,attrib_total_ns,attrib_other_ns,"
+            "attrib_little_ok,attrib_bottleneck";
+    return cols;
 }
 
 /** The device hosting @p target on @p m (nullopt target: merge every
@@ -594,6 +623,10 @@ collectPoint(Machine &m, std::optional<Target> target, int pid,
         p.ras = *rs;
     if (auto qs = m.qosStats())
         p.qos = *qs;
+    // Merge (not assign): a point that builds several machines (the
+    // latency probes) accumulates one exact roll-up.
+    if (AttributionBoard *ab = m.attribution())
+        p.attrib.merge(ab->snapshot(m.eq().curTick()));
     if (!collectObs)
         return;
     if (RequestTracer *tr = m.tracer()) {
@@ -672,18 +705,43 @@ printHistLine(const LatencyHistogram &h)
                 static_cast<double>(h.max()) / tickPerNs);
 }
 
-/** The full optional cell set: every group, zeros when inactive, so
- *  rows always match csvHeader()'s stable superset. */
 void
-printExtraCsvCells(const PointResult &p)
+printAttribCsvCells(const AttribSnapshot &a)
+{
+    for (std::size_t i = 0; i < numStations; ++i) {
+        const auto id = static_cast<StationId>(i);
+        std::printf(",%.2f,%.2f,%.4f", a.componentQueueNs(id),
+                    a.componentServiceNs(id), a.util(id));
+    }
+    std::printf(",%llu,%.2f,%.2f,%d,%s",
+                (unsigned long long)a.reqCount, a.avgTotalNs(),
+                a.otherNs(), a.littleOk() ? 1 : 0,
+                stationName(a.bottleneck()));
+}
+
+void
+printAttribLine(const AttribSnapshot &a)
+{
+    std::printf("  attrib: %s\n", a.verdict().c_str());
+}
+
+/** The full optional cell set: every group, zeros when inactive, so
+ *  rows always match csvHeader()'s stable superset. The attribution
+ *  group is appended only when enabled, keeping pre-attribution
+ *  configurations byte-identical. */
+void
+printExtraCsvCells(const PointResult &p, bool attrib)
 {
     printRasCsvCells(p.ras);
     printQosCsvCells(p.qos);
     printHistCsvCells(p.hist);
+    if (attrib)
+        printAttribCsvCells(p.attrib);
 }
 
 void
-printExtraLines(const PointResult &p, bool ras, bool qos, bool hist)
+printExtraLines(const PointResult &p, bool ras, bool qos, bool hist,
+                bool attrib)
 {
     if (ras)
         printRasLine(p.ras);
@@ -691,6 +749,8 @@ printExtraLines(const PointResult &p, bool ras, bool qos, bool hist)
         printQosLine(p.qos);
     if (hist)
         printHistLine(p.hist);
+    if (attrib)
+        printAttribLine(p.attrib);
 }
 
 /** Merge per-point trace fragments into one Chrome trace-event JSON
@@ -764,10 +824,10 @@ finishRun(const CliConfig &cfg, const std::vector<PointResult> &pts)
 } // namespace
 
 std::string
-csvHeader(CliMode mode, bool ras, bool qos, bool hist)
+csvHeader(CliMode mode, bool ras, bool qos, bool hist, bool attrib)
 {
     std::string base;
-    const bool extras = ras || qos || hist;
+    const bool extras = ras || qos || hist || attrib;
     switch (mode) {
       case CliMode::Latency:
         base = "target,ld,st+wb,nt-st,ptr-chase";
@@ -790,12 +850,17 @@ csvHeader(CliMode mode, bool ras, bool qos, bool hist)
         base = extras ? "target,threads,avg_ns,p50_ns,p99_ns"
                       : "target,threads,ns";
         break;
+      case CliMode::Report:
+        base = "target,op,threads,gbps";
+        break;
       case CliMode::Help:
         return "";
     }
     if (extras)
         base += std::string(rasCsvColumns()) + qosCsvColumns()
                 + histCsvColumns();
+    if (attrib || mode == CliMode::Report)
+        base += attribCsvColumns();
     return base;
 }
 
@@ -815,7 +880,8 @@ runCli(const CliConfig &cfg)
     const bool ras = cfg.faults.enabled();
     const bool qos = cfg.qos.enabled();
     const bool hist = cfg.histograms;
-    const bool extras = ras || qos || hist;
+    const bool attrib = opts.obs.attribution;
+    const bool extras = ras || qos || hist || attrib;
     const bool collect = opts.obs.enabled();
 
     // Per-point options: every sweep point gets its own hook writing
@@ -834,7 +900,8 @@ runCli(const CliConfig &cfg)
 
     auto csvHeaderLine = [&] {
         std::printf("%s\n",
-                    csvHeader(cfg.mode, ras, qos, hist).c_str());
+                    csvHeader(cfg.mode, ras, qos, hist,
+                              attrib).c_str());
     };
 
     switch (cfg.mode) {
@@ -853,14 +920,14 @@ runCli(const CliConfig &cfg)
                         targetName(cfg.target), r.loadNs, r.storeWbNs,
                         r.ntStoreNs, r.ptrChaseNs);
             if (extras)
-                printExtraCsvCells(p);
+                printExtraCsvCells(p, attrib);
             std::printf("\n");
         } else {
             std::printf("%s latency (ns): ld %.1f  st+wb %.1f  "
                         "nt-st %.1f  ptr-chase %.1f\n",
                         targetName(cfg.target), r.loadNs, r.storeWbNs,
                         r.ntStoreNs, r.ptrChaseNs);
-            printExtraLines(p, ras, qos, hist);
+            printExtraLines(p, ras, qos, hist, attrib);
         }
         return finishRun(cfg, pts);
       }
@@ -885,13 +952,13 @@ runCli(const CliConfig &cfg)
                 std::printf("%s,%s,%u,%.2f", targetName(cfg.target),
                             opName(cfg.op), t, pts[i].value);
                 if (extras)
-                    printExtraCsvCells(pts[i]);
+                    printExtraCsvCells(pts[i], attrib);
                 std::printf("\n");
             } else {
                 std::printf("%s %s seq, %2u threads: %7.2f GB/s\n",
                             targetName(cfg.target), opName(cfg.op), t,
                             pts[i].value);
-                printExtraLines(pts[i], ras, qos, hist);
+                printExtraLines(pts[i], ras, qos, hist, attrib);
             }
         }
         return finishRun(cfg, pts);
@@ -927,7 +994,7 @@ runCli(const CliConfig &cfg)
                             (unsigned long long)points[i].block,
                             points[i].threads, pts[i].value);
                 if (extras)
-                    printExtraCsvCells(pts[i]);
+                    printExtraCsvCells(pts[i], attrib);
                 std::printf("\n");
             } else {
                 std::printf("%s %s rand %6lluB blocks, %2u "
@@ -935,7 +1002,7 @@ runCli(const CliConfig &cfg)
                             targetName(cfg.target), opName(cfg.op),
                             (unsigned long long)points[i].block,
                             points[i].threads, pts[i].value);
-                printExtraLines(pts[i], ras, qos, hist);
+                printExtraLines(pts[i], ras, qos, hist, attrib);
             }
         }
         return finishRun(cfg, pts);
@@ -963,14 +1030,14 @@ runCli(const CliConfig &cfg)
                             (unsigned long long)cfg.wssBytes[i],
                             pts[i].value);
                 if (extras)
-                    printExtraCsvCells(pts[i]);
+                    printExtraCsvCells(pts[i], attrib);
                 std::printf("\n");
             } else {
                 std::printf("%s chase wss %10llu B: %7.1f ns\n",
                             targetName(cfg.target),
                             (unsigned long long)cfg.wssBytes[i],
                             pts[i].value);
-                printExtraLines(pts[i], ras, qos, hist);
+                printExtraLines(pts[i], ras, qos, hist, attrib);
             }
         }
         return finishRun(cfg, pts);
@@ -990,14 +1057,14 @@ runCli(const CliConfig &cfg)
                         copyMethodName(cfg.method), cfg.batch,
                         p.value);
             if (extras)
-                printExtraCsvCells(p);
+                printExtraCsvCells(p, attrib);
             std::printf("\n");
         } else {
             std::printf("%s via %s (batch %u): %.2f GB/s\n",
                         copyPathName(cfg.path),
                         copyMethodName(cfg.method), cfg.batch,
                         p.value);
-            printExtraLines(p, ras, qos, hist);
+            printExtraLines(p, ras, qos, hist, attrib);
         }
         return finishRun(cfg, pts);
       }
@@ -1028,14 +1095,14 @@ runCli(const CliConfig &cfg)
                     std::printf("%s,%u,%.1f,%.1f,%.1f",
                                 targetName(cfg.target), t, d.avgNs,
                                 d.p50Ns, d.p99Ns);
-                    printExtraCsvCells(pts[i]);
+                    printExtraCsvCells(pts[i], attrib);
                     std::printf("\n");
                 } else {
                     std::printf("%s loaded latency, %2u threads: "
                                 "avg %7.1f  p50 %7.1f  p99 %7.1f ns\n",
                                 targetName(cfg.target), t, d.avgNs,
                                 d.p50Ns, d.p99Ns);
-                    printExtraLines(pts[i], ras, qos, hist);
+                    printExtraLines(pts[i], ras, qos, hist, attrib);
                 }
             }
             return finishRun(cfg, pts);
@@ -1060,6 +1127,41 @@ runCli(const CliConfig &cfg)
                 std::printf("%s loaded latency, %2u threads: %7.1f "
                             "ns\n",
                             targetName(cfg.target), t, pts[i].value);
+        }
+        return finishRun(cfg, pts);
+      }
+
+      case CliMode::Report: {
+        // Sequential-bandwidth sweep (the Fig. 3 shape) with
+        // attribution forced on: each point prints its bandwidth, the
+        // full per-station breakdown table and a bottleneck verdict.
+        SweepRunner pool(cfg.jobs);
+        const auto pts = pool.map(cfg.threads.size(),
+                                  [&](std::size_t i) {
+            PointResult p;
+            const Options o = hooked(p, static_cast<int>(i),
+                                     cfg.target);
+            p.value = runSeqBandwidth(cfg.target, cfg.op,
+                                      cfg.threads[i], o, &p.ras,
+                                      &p.qos);
+            return p;
+        });
+        if (cfg.csv)
+            csvHeaderLine();
+        for (std::size_t i = 0; i < cfg.threads.size(); ++i) {
+            const std::uint32_t t = cfg.threads[i];
+            if (cfg.csv) {
+                std::printf("%s,%s,%u,%.2f", targetName(cfg.target),
+                            opName(cfg.op), t, pts[i].value);
+                printExtraCsvCells(pts[i], attrib);
+                std::printf("\n");
+            } else {
+                std::printf("%s %s seq, %2u threads: %7.2f GB/s\n",
+                            targetName(cfg.target), opName(cfg.op), t,
+                            pts[i].value);
+                printExtraLines(pts[i], ras, qos, hist, false);
+                std::fputs(pts[i].attrib.table().c_str(), stdout);
+            }
         }
         return finishRun(cfg, pts);
       }

@@ -12,6 +12,7 @@
  *   memo --mode chase    --target ddr5-r1 --wss 16K-512M
  *   memo --mode copy     --path d2c --method dsa --batch 16
  *   memo --mode loaded   --target cxl --threads 12
+ *   memo --mode report   --target cxl --op load --threads 1-32
  *
  * The parser is a standalone, testable component; `memoCliMain` is
  * the actual entry point used by the `memo` binary.
@@ -41,6 +42,7 @@ enum class CliMode
     Chase,   //!< pointer-chase WSS sweep
     Copy,    //!< data-movement (memcpy/movdir64B/DSA)
     Loaded,  //!< loaded latency
+    Report,  //!< bandwidth sweep + per-point attribution breakdown
     Help,
 };
 
@@ -97,6 +99,10 @@ struct CliConfig
     /** Enable per-component latency histograms (`--histograms`). */
     bool histograms = false;
 
+    /** Exhaustive latency accounting / bottleneck attribution
+     *  (`--attrib`; forced on by `--mode report`). */
+    bool attrib = false;
+
     /** The resolved observability options this invocation runs with
      *  (all-off unless one of the flags above was given). */
     ObservabilityOptions observability() const;
@@ -106,13 +112,15 @@ struct CliConfig
  * The CSV header `--csv` emits for @p mode. Exactly one header row is
  * printed per run. With no optional column group active the base
  * column set matches the pre-observability output byte-for-byte; as
- * soon as *any* of @p ras / @p qos / @p hist is active, the full
- * superset (base + RAS + QoS + histogram columns) is emitted and every
- * row carries every group (zeros for inactive ones), so the column set
- * is stable across fault/QoS/histogram configurations and mergeable
- * across runs.
+ * soon as *any* of @p ras / @p qos / @p hist / @p attrib is active,
+ * the full superset (base + RAS + QoS + histogram + attribution
+ * columns) is emitted and every row carries every group (zeros for
+ * inactive ones), so the column set is stable across
+ * fault/QoS/histogram/attribution configurations and mergeable across
+ * runs.
  */
-std::string csvHeader(CliMode mode, bool ras, bool qos, bool hist);
+std::string csvHeader(CliMode mode, bool ras, bool qos, bool hist,
+                      bool attrib = false);
 
 /**
  * Parse argv into a CliConfig.

@@ -32,11 +32,16 @@ struct ObservabilityOptions
     /** Per-component latency histograms (device access latency). */
     bool latencyHistograms = false;
 
+    /** Exhaustive latency accounting and bottleneck attribution
+     *  (sim/attribution.hh): every-request queue/service accounting
+     *  on all stations plus the demand-read latency stack. */
+    bool attribution = false;
+
     bool
     enabled() const
     {
         return traceSampleEvery != 0 || metricsInterval != 0
-               || latencyHistograms;
+               || latencyHistograms || attribution;
     }
 };
 

@@ -163,58 +163,8 @@ class SampleSeries
 
     void reset() { samples_.clear(); }
 
-    const std::vector<double> &samples() const { return samples_; }
-
   private:
     std::vector<double> samples_;
-};
-
-/**
- * Accumulates bytes moved and reports bandwidth over the measurement
- * window. Components call addBytes(); the experiment harness brackets
- * the window with start()/stop().
- */
-class BandwidthMeter
-{
-  public:
-    void
-    start(Tick now)
-    {
-        windowStart_ = now;
-        bytes_ = 0;
-        running_ = true;
-    }
-
-    void
-    stop(Tick now)
-    {
-        CXLMEMO_ASSERT(running_, "stopping a meter that never started");
-        windowEnd_ = now;
-        running_ = false;
-    }
-
-    void
-    addBytes(std::uint64_t n)
-    {
-        if (running_)
-            bytes_ += n;
-    }
-
-    std::uint64_t bytes() const { return bytes_; }
-
-    /** Measured bandwidth in GB/s over the closed window. */
-    double
-    gbps() const
-    {
-        CXLMEMO_ASSERT(!running_, "reading a meter that is still running");
-        return gbPerSec(bytes_, windowEnd_ - windowStart_);
-    }
-
-  private:
-    Tick windowStart_ = 0;
-    Tick windowEnd_ = 0;
-    std::uint64_t bytes_ = 0;
-    bool running_ = false;
 };
 
 } // namespace cxlmemo

@@ -275,6 +275,39 @@ Machine::Machine(Testbed testbed, MachineOptions opts) : testbed_(testbed)
 
     dsa_ = std::make_unique<Dsa>(eq_, numa_, DsaParams{});
     coreParams_ = sprCore();
+
+    // Exhaustive latency accounting. Off by default: no board, every
+    // instrumentation site is a null-pointer test, and enabling it
+    // never schedules events -- so simulated timing is bit-identical
+    // either way.
+    if (opts.obs.attribution) {
+        attrib_ = std::make_unique<AttributionBoard>(eq_.curTick());
+        attrib_->setServers(StationId::CoreLfb, cores, /*buffer=*/true);
+        // The lookup pipeline serves up to one access per outstanding
+        // miss buffer per core; utilization is relative to the
+        // machine's full memory-level parallelism.
+        attrib_->setServers(StationId::Cache,
+                            cores * coreParams_.loadFillBuffers);
+        std::uint32_t dram_channels = local_->numChannels();
+        if (remote_)
+            dram_channels += remote_->params().numChannels;
+        attrib_->setServers(StationId::Dram, dram_channels);
+        attrib_->setServers(StationId::Dsa, dsa_->params().numEngines);
+        caches_->setStation(&attrib_->station(StationId::Cache));
+        local_->setStation(&attrib_->station(StationId::Dram));
+        if (remote_) {
+            remote_->setStation(&attrib_->station(StationId::Upi));
+            remote_->setDramStation(&attrib_->station(StationId::Dram));
+        }
+        if (cxl_)
+            cxl_->setAttribution(attrib_.get());
+        dsa_->setStation(&attrib_->station(StationId::Dsa));
+        if (watchdog_) {
+            watchdog_->addPostMortem([this] {
+                return attrib_->snapshot(eq_.curTick()).postMortem();
+            });
+        }
+    }
 }
 
 void
@@ -393,7 +426,10 @@ std::unique_ptr<HwThread>
 Machine::makeThread(std::uint16_t core)
 {
     CXLMEMO_ASSERT(core < numCores(), "core %u beyond testbed", core);
-    return std::make_unique<HwThread>(*caches_, core, coreParams_);
+    auto t = std::make_unique<HwThread>(*caches_, core, coreParams_);
+    if (attrib_)
+        t->setAttribution(attrib_.get());
+    return t;
 }
 
 void
@@ -408,6 +444,8 @@ Machine::resetStats()
         faults_->stats().reset();
     if (throttle_)
         throttle_->resetStats();
+    if (attrib_)
+        attrib_->beginWindow(eq_.curTick());
 }
 
 std::optional<QosStats>
@@ -511,6 +549,8 @@ Machine::statsString() const
            << caches_->stlbHits() << "\n";
     os << "  dsa: bytes copied " << dsa_->bytesCopied() / kiB
        << " KiB\n";
+    if (attrib_)
+        os << attrib_->snapshot(eq_.curTick()).statLines();
     return os.str();
 }
 

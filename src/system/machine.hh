@@ -20,6 +20,7 @@
 #include "interconnect/upi.hh"
 #include "mem/dram.hh"
 #include "numa/numa.hh"
+#include "sim/attribution.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
 #include "sim/metrics.hh"
@@ -144,6 +145,11 @@ class Machine
     /** Interval-metrics registry (nullptr when metrics are disabled). */
     MetricsRegistry *metrics() { return metrics_.get(); }
 
+    /** Latency-attribution board (nullptr when `obs.attribution` is
+     *  off -- the default: no stations, no accounting, bit-identical
+     *  timing and statistics). */
+    AttributionBoard *attribution() { return attrib_.get(); }
+
     /** Emit the final metrics snapshot plus end-of-run totals (no-op
      *  when metrics are disabled; idempotent). */
     void
@@ -201,6 +207,7 @@ class Machine
     std::unique_ptr<RequestTracer> tracer_;
     std::unique_ptr<MetricsRegistry> metrics_;
     std::unique_ptr<MetricsSampler> sampler_;
+    std::unique_ptr<AttributionBoard> attrib_;
     CoreParams coreParams_;
 
     /** Register component counters/gauges with metrics_. */

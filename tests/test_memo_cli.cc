@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "memo/cli.hh"
+#include "sim/attribution.hh"
 
 namespace cxlmemo
 {
@@ -356,6 +357,48 @@ TEST(MemoCli, CsvHeaderColumnSetStableAcrossGroups)
                            "lat_max_ns"),
                   std::string::npos);
     }
+}
+
+TEST(MemoCli, CsvHeaderAttribColumnsAreTheirOwnTier)
+{
+    // The attribution columns append only when attribution is on:
+    // existing RAS/QoS/histogram configurations keep byte-identical
+    // output, and pre-observability output is untouched.
+    for (CliMode mode : {CliMode::Latency, CliMode::Seq, CliMode::Rand,
+                         CliMode::Chase, CliMode::Copy,
+                         CliMode::Loaded}) {
+        const std::string groups = csvHeader(mode, true, true, true);
+        EXPECT_EQ(csvHeader(mode, true, true, true, false), groups);
+        const std::string attrib =
+            csvHeader(mode, false, false, false, true);
+        // Attribution implies the full superset plus 3 columns per
+        // station and 5 roll-up columns at the end.
+        EXPECT_EQ(columns(attrib), columns(groups) + 3 * numStations + 5);
+        EXPECT_NE(attrib.find(",attrib_cxl_backend_util"),
+                  std::string::npos);
+        EXPECT_NE(attrib.find(",attrib_bottleneck"), std::string::npos);
+    }
+    // `memo report` always carries the attribution columns.
+    EXPECT_NE(csvHeader(CliMode::Report, false, false, false)
+                  .find(",attrib_bottleneck"),
+              std::string::npos);
+}
+
+TEST(MemoCli, ReportModeParsesAndForcesAttribution)
+{
+    const auto cfg = parse({"--mode", "report", "--target", "cxl",
+                            "--op", "load", "--threads", "1,8"});
+    ASSERT_TRUE(cfg);
+    EXPECT_EQ(cfg->mode, CliMode::Report);
+    EXPECT_TRUE(cfg->observability().attribution);
+    // --attrib alone enables it for regular sweeps too.
+    const auto seq = parse({"--mode", "seq", "--attrib"});
+    ASSERT_TRUE(seq);
+    EXPECT_TRUE(seq->observability().attribution);
+    // ...and off by default.
+    const auto plain = parse({"--mode", "seq"});
+    ASSERT_TRUE(plain);
+    EXPECT_FALSE(plain->observability().attribution);
 }
 
 } // namespace

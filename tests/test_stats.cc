@@ -79,24 +79,5 @@ TEST(SampleSeries, EmptyReportsZeroNotNan)
     EXPECT_DOUBLE_EQ(s.mean(), 0.0);
 }
 
-TEST(BandwidthMeter, MeasuresOverWindow)
-{
-    BandwidthMeter m;
-    m.addBytes(1000); // before start: ignored
-    m.start(ticksFromUs(10));
-    m.addBytes(64000);
-    m.addBytes(64000);
-    m.stop(ticksFromUs(11)); // 1 us window
-    EXPECT_EQ(m.bytes(), 128000u);
-    EXPECT_NEAR(m.gbps(), 128.0, 1e-9);
-}
-
-TEST(BandwidthMeterDeathTest, ReadingWhileRunningPanics)
-{
-    BandwidthMeter m;
-    m.start(0);
-    EXPECT_DEATH(m.gbps(), "still running");
-}
-
 } // namespace
 } // namespace cxlmemo
