@@ -9,13 +9,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "cpu/streams.hh"
 #include "mem/dram.hh"
 #include "sim/event_queue.hh"
 #include "sim/histogram.hh"
+#include "sim/pool.hh"
 #include "sim/rng.hh"
 #include "system/machine.hh"
 
@@ -178,6 +181,57 @@ BM_CallbackHandoffStdFunction(benchmark::State &state)
 }
 BENCHMARK(BM_CallbackHandoffStdFunction);
 
+/* ---------------------- spill-cell allocator --------------------- */
+
+/** One pooled spill cell per event: the cost a callback that carries
+ *  a whole MemRequest pays for its heap cell (vs BM_HeapSpillCell,
+ *  the global new/delete pair the pool replaced). */
+void
+BM_PoolSpillCell(benchmark::State &state)
+{
+    constexpr std::size_t bytes = 192; // a spilled completion capture
+    for (auto _ : state) {
+        void *p = poolAlloc(bytes);
+        benchmark::DoNotOptimize(p);
+        poolFree(p, bytes);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolSpillCell);
+
+void
+BM_HeapSpillCell(benchmark::State &state)
+{
+    constexpr std::size_t bytes = 192;
+    for (auto _ : state) {
+        void *p = ::operator new(bytes);
+        benchmark::DoNotOptimize(p);
+        ::operator delete(p);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapSpillCell);
+
+/** Full lifecycle of a callback too big for the inline buffer --
+ *  construct (pool alloc), move (pointer steal), invoke, destroy
+ *  (pool free). Compare with BM_CallbackHandoffInline to see what a
+ *  spill costs end to end. */
+void
+BM_CallbackHandoffSpilled(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    std::array<std::uint64_t, 12> big{};
+    big[0] = 1;
+    for (auto _ : state) {
+        InlineCallback<void()> cb = [&sink, big] { sink += big[0]; };
+        InlineCallback<void()> moved = std::move(cb);
+        moved();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CallbackHandoffSpilled);
+
 void
 BM_RngDraws(benchmark::State &state)
 {
@@ -313,6 +367,88 @@ BM_EndToEndTracedLoads(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * (8 * miB / 64));
 }
 BENCHMARK(BM_EndToEndTracedLoads)->Arg(0)->Arg(64)->Arg(1);
+
+/* ------------------------ parallel engine ------------------------ */
+
+/**
+ * The fig. 3 shape the parallel engine targets: 32 cores streaming
+ * loads at the CXL device. Arg = sim-threads (0 = the classic
+ * single-queue engine; >= 1 = domain-partitioned). The interesting
+ * ratios are arg 1 vs arg 0 (parallel-engine overhead on one worker,
+ * the <= 5% regression budget) and arg N vs arg 1 (self-relative
+ * speedup recorded in BENCH_parallel.json).
+ */
+void
+BM_ParallelFig3Point(benchmark::State &state)
+{
+    const auto st = static_cast<std::uint32_t>(state.range(0));
+    constexpr std::uint32_t cores = 32;
+    constexpr std::uint64_t perThread = 4 * miB;
+    for (auto _ : state) {
+        state.PauseTiming();
+        MachineOptions mo;
+        mo.simThreads = st;
+        Machine m(Testbed::SingleSocketCxl, mo);
+        NumaBuffer buf = m.numa().alloc(
+            std::uint64_t(cores) * perThread,
+            MemPolicy::membind(m.cxlNode()));
+        std::vector<std::unique_ptr<HwThread>> pool;
+        for (std::uint32_t t = 0; t < cores; ++t)
+            pool.push_back(m.makeThread(static_cast<std::uint16_t>(t)));
+        state.ResumeTiming();
+
+        for (std::uint32_t t = 0; t < cores; ++t)
+            pool[t]->start(std::make_unique<SequentialStream>(
+                               buf, std::uint64_t(t) * perThread,
+                               perThread, perThread, MemOp::Kind::Load),
+                           0, nullptr);
+        m.run();
+        benchmark::DoNotOptimize(pool[0]->stats().loads);
+    }
+    state.SetItemsProcessed(state.iterations() * cores
+                            * (perThread / cachelineBytes));
+}
+BENCHMARK(BM_ParallelFig3Point)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Same shape on the local DDR5 path: 8 channel domains give the
+ * engine more lanes than the single CXL device domain above.
+ */
+void
+BM_ParallelLocalBwPoint(benchmark::State &state)
+{
+    const auto st = static_cast<std::uint32_t>(state.range(0));
+    constexpr std::uint32_t cores = 32;
+    constexpr std::uint64_t perThread = 4 * miB;
+    for (auto _ : state) {
+        state.PauseTiming();
+        MachineOptions mo;
+        mo.simThreads = st;
+        Machine m(Testbed::SingleSocketCxl, mo);
+        NumaBuffer buf = m.numa().alloc(
+            std::uint64_t(cores) * perThread,
+            MemPolicy::membind(m.localNode()));
+        std::vector<std::unique_ptr<HwThread>> pool;
+        for (std::uint32_t t = 0; t < cores; ++t)
+            pool.push_back(m.makeThread(static_cast<std::uint16_t>(t)));
+        state.ResumeTiming();
+
+        for (std::uint32_t t = 0; t < cores; ++t)
+            pool[t]->start(std::make_unique<SequentialStream>(
+                               buf, std::uint64_t(t) * perThread,
+                               perThread, perThread, MemOp::Kind::Load),
+                           0, nullptr);
+        m.run();
+        benchmark::DoNotOptimize(pool[0]->stats().loads);
+    }
+    state.SetItemsProcessed(state.iterations() * cores
+                            * (perThread / cachelineBytes));
+}
+BENCHMARK(BM_ParallelLocalBwPoint)
+    ->Arg(0)->Arg(1)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -24,6 +24,7 @@
 
 #include <cstdlib>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <vector>
 #include <memory>
@@ -192,6 +193,16 @@ class CxlMemDevice : public MemoryDevice, public ProgressSource
      *  (piggybacked on S2M responses); nullptr = no reaction. */
     void setHostThrottle(HostThrottle *throttle) { throttle_ = throttle; }
 
+    /** Divert DevLoad observations instead of driving a HostThrottle
+     *  directly: the parallel engine installs a sink that posts the
+     *  (load, level, tick) sample into the host domain, because the
+     *  throttle lives on the other side of the domain boundary. A set
+     *  sink takes precedence over setHostThrottle. */
+    void setLoadSink(std::function<void(double, DevLoad, Tick)> sink)
+    {
+        loadSink_ = std::move(sink);
+    }
+
     /** Keep retired/outstanding counters for the watchdog even when
      *  QoS is disabled (adds response-delivery events; only called
      *  when a watchdog actually supervises this device). */
@@ -319,6 +330,7 @@ class CxlMemDevice : public MemoryDevice, public ProgressSource
     /* overload control (all inert unless configured) */
     std::unique_ptr<DevLoadMeter> meter_;
     HostThrottle *throttle_ = nullptr;
+    std::function<void(double, DevLoad, Tick)> loadSink_;
     std::deque<std::pair<MemRequest, Tick>> rdCreditWait_;
     std::deque<std::pair<MemRequest, Tick>> wrCreditWait_;
     std::vector<std::uint64_t> sourceCreditStall_; //!< per issuing core

@@ -45,7 +45,11 @@ DramChannel::DramChannel(EventQueue &eq, DramChannelParams params,
     : eq_(eq),
       params_(std::move(params)),
       faults_(faults),
-      banks_(params_.numBanks)
+      bankOpenRow_(params_.numBanks, ~std::uint64_t(0)),
+      bankBusyUntil_(params_.numBanks, 0),
+      bankLastActivate_(params_.numBanks, 0),
+      bankHitRun_(params_.numBanks, 0),
+      bankQueue_(params_.numBanks)
 {
     params_.validate();
 }
@@ -146,39 +150,39 @@ DramChannel::enqueue(MemRequest req)
 {
     const std::uint32_t bank_idx = bankOf(req.addr);
     ++outstanding_;
-    banks_[bank_idx].queue.push_back(std::move(req));
+    bankQueue_[bank_idx].push_back(std::move(req));
     tryIssue(bank_idx);
 }
 
 void
 DramChannel::tryIssue(std::uint32_t bank_idx)
 {
-    Bank &bank = banks_[bank_idx];
-    if (bank.busy || bank.queue.empty())
+    std::deque<MemRequest> &queue = bankQueue_[bank_idx];
+    if (bankBusyUntil_[bank_idx] != 0 || queue.empty())
         return;
 
     // FR-FCFS selection: prefer a row hit within the reorder window
     // unless the starvation cap says the oldest request must go first.
     // The cap gates only *reordering*; whether the chosen request is
     // a row hit is decided by the open-row state itself.
+    const std::uint64_t open_row = bankOpenRow_[bank_idx];
     std::size_t pick = 0;
-    if (bank.hitRun < params_.maxHitRun
-        && rowOf(bank.queue[0].addr) != bank.openRow) {
+    if (bankHitRun_[bank_idx] < params_.maxHitRun
+        && rowOf(queue[0].addr) != open_row) {
         const std::size_t depth =
-            std::min<std::size_t>(params_.scanDepth, bank.queue.size());
+            std::min<std::size_t>(params_.scanDepth, queue.size());
         for (std::size_t i = 1; i < depth; ++i) {
-            if (rowOf(bank.queue[i].addr) == bank.openRow) {
+            if (rowOf(queue[i].addr) == open_row) {
                 pick = i;
                 break;
             }
         }
     }
 
-    MemRequest req = std::move(bank.queue[pick]);
-    bank.queue.erase(bank.queue.begin()
-                     + static_cast<std::ptrdiff_t>(pick));
+    MemRequest req = std::move(queue[pick]);
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
 
-    const bool hit = rowOf(req.addr) == bank.openRow;
+    const bool hit = rowOf(req.addr) == open_row;
     const Tick now = eq_.curTick();
     const bool write = isWrite(req.cmd);
 
@@ -190,7 +194,7 @@ DramChannel::tryIssue(std::uint32_t bank_idx)
     if (hit) {
         dev_latency = params_.tRowHit;
         occupancy = busTime(req.size, write);
-        bank.hitRun++;
+        bankHitRun_[bank_idx]++;
         stats_.rowHits++;
     } else {
         dev_latency = params_.tRowMiss;
@@ -199,14 +203,15 @@ DramChannel::tryIssue(std::uint32_t bank_idx)
         if (write)
             occupancy += params_.tWriteRecovery;
         occupancy = std::max(occupancy, params_.tBankCycle);
-        bank.openRow = rowOf(req.addr);
-        bank.hitRun = 0;
+        bankOpenRow_[bank_idx] = rowOf(req.addr);
+        bankLastActivate_[bank_idx] = now;
+        bankHitRun_[bank_idx] = 0;
         stats_.rowMisses++;
     }
 
-    bank.busy = true;
+    bankBusyUntil_[bank_idx] = now + occupancy;
     eq_.schedule(now + occupancy, [this, bank_idx] {
-        banks_[bank_idx].busy = false;
+        bankBusyUntil_[bank_idx] = 0;
         tryIssue(bank_idx);
     });
 
@@ -295,7 +300,8 @@ InterleavedMemory::InterleavedMemory(EventQueue &eq, const std::string &name,
                                      const DramChannelParams &channelParams,
                                      std::uint32_t numChannels,
                                      std::uint64_t interleaveBytes,
-                                     FaultInjector *faults)
+                                     FaultInjector *faults,
+                                     const std::vector<EventQueue *> &channelQueues)
     : eq_(eq), name_(name), interleaveBytes_(interleaveBytes)
 {
     if (numChannels == 0)
@@ -305,12 +311,18 @@ InterleavedMemory::InterleavedMemory(EventQueue &eq, const std::string &name,
         throw std::invalid_argument(
             "InterleavedMemory: interleave below line size splits "
             "transactions");
+    if (!channelQueues.empty()
+        && channelQueues.size() != numChannels)
+        throw std::invalid_argument(
+            "InterleavedMemory: channelQueues must match numChannels");
     channels_.reserve(numChannels);
     for (std::uint32_t i = 0; i < numChannels; ++i) {
         DramChannelParams p = channelParams;
         p.name = name + ".ch" + std::to_string(i);
+        EventQueue &chEq =
+            channelQueues.empty() ? eq : *channelQueues[i];
         channels_.push_back(
-            std::make_unique<DramChannel>(eq, std::move(p), faults));
+            std::make_unique<DramChannel>(chEq, std::move(p), faults));
     }
 }
 
@@ -332,6 +344,10 @@ InterleavedMemory::access(MemRequest req)
     const Addr local = (chunk / channels_.size()) * interleaveBytes_
                        + (req.addr % interleaveBytes_);
     req.addr = local;
+    if (hop_) {
+        hop_(ch, std::move(req));
+        return;
+    }
     channels_[ch]->access(std::move(req));
 }
 

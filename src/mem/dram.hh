@@ -25,6 +25,7 @@
 #define CXLMEMO_MEM_DRAM_HH
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -145,14 +146,6 @@ class DramChannel : public MemoryDevice
     void setStation(AccountedStation *station) { station_ = station; }
 
   private:
-    struct Bank
-    {
-        std::uint64_t openRow = ~std::uint64_t(0);
-        bool busy = false;
-        std::uint32_t hitRun = 0;
-        std::deque<MemRequest> queue;
-    };
-
     std::uint64_t rowOf(Addr addr) const;
     std::uint32_t bankOf(Addr addr) const;
     Tick busTime(std::uint32_t size, bool write) const;
@@ -175,7 +168,19 @@ class DramChannel : public MemoryDevice
     EventQueue &eq_;
     DramChannelParams params_;
     FaultInjector *faults_ = nullptr;
-    std::vector<Bank> banks_;
+
+    /**
+     * Per-bank state in structure-of-arrays layout. The FR-FCFS scan
+     * in tryIssue touches openRow/hitRun for every candidate while the
+     * issue check reads only busyUntil; with an array-of-structs each
+     * bank dragged its 80-byte deque header into the cache per probe.
+     * Parallel arrays keep the 16 banks' scan state in two lines.
+     */
+    std::vector<std::uint64_t> bankOpenRow_; //!< ~0 = no open row
+    std::vector<Tick> bankBusyUntil_;  //!< 0 = idle, else occupied-to
+    std::vector<Tick> bankLastActivate_; //!< last row-activate tick
+    std::vector<std::uint32_t> bankHitRun_;
+    std::vector<std::deque<MemRequest>> bankQueue_;
     std::deque<MemRequest> busReadQueue_;  //!< ready, awaiting the bus
     std::deque<MemRequest> busWriteQueue_;
     bool busBusy_ = false;
@@ -201,12 +206,18 @@ class InterleavedMemory : public MemoryDevice
      * @param interleaveBytes channel-interleave granularity
      *        (SPR interleaves at 256 B across iMC channels)
      * @param faults optional fault injector shared by all channels
+     * @param channelQueues when non-empty, one EventQueue per channel
+     *        (size must equal @p numChannels): channel @p i runs on
+     *        *channelQueues[i] instead of @p eq. Used by the parallel
+     *        engine to give each channel its own simulation domain;
+     *        requests must then be routed via setChannelHop.
      */
     InterleavedMemory(EventQueue &eq, const std::string &name,
                       const DramChannelParams &channelParams,
                       std::uint32_t numChannels,
                       std::uint64_t interleaveBytes = 256,
-                      FaultInjector *faults = nullptr);
+                      FaultInjector *faults = nullptr,
+                      const std::vector<EventQueue *> &channelQueues = {});
 
     void access(MemRequest req) override;
     const std::string &name() const override { return name_; }
@@ -245,12 +256,25 @@ class InterleavedMemory : public MemoryDevice
             ch->setStation(station);
     }
 
+    /**
+     * Divert channel dispatch: access() still selects the channel and
+     * compacts the address, but then hands (channel, request) to
+     * @p hop instead of calling DramChannel::access directly. The
+     * parallel engine uses this to post the request into the channel's
+     * domain; the hop must eventually deliver it to channel(ch).
+     */
+    void setChannelHop(std::function<void(std::uint32_t, MemRequest)> hop)
+    {
+        hop_ = std::move(hop);
+    }
+
   private:
     EventQueue &eq_;
     std::string name_;
     std::vector<std::unique_ptr<DramChannel>> channels_;
     std::uint64_t interleaveBytes_;
     std::unique_ptr<LatencyHistogram> latHist_;
+    std::function<void(std::uint32_t, MemRequest)> hop_;
 };
 
 } // namespace cxlmemo

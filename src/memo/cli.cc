@@ -185,6 +185,11 @@ cliUsage()
         "  --seed    N   workload RNG seed           (default 42)\n"
         "  --jobs/-j N   host threads for sweep points (default 1;\n"
         "                0 = all cores; output identical for any N)\n"
+        "  --sim-threads N   parallel intra-machine simulation:\n"
+        "                domain-partitioned event queues on N worker\n"
+        "                threads (default 0 = classic single-queue\n"
+        "                engine; output byte-identical for any N >= 1;\n"
+        "                incompatible with --trace-out)\n"
         "  --fault-spec  key=value[,...] RAS fault injection:\n"
         "                crc= poison= timeout= drain= dram= (rates in\n"
         "                [0,1]), stall-ns= timeout-ns= backoff-ns=\n"
@@ -411,6 +416,17 @@ parseCli(const std::vector<std::string> &rawArgs, std::string &error)
             }
             cfg.jobs = static_cast<std::uint32_t>(*j);
             ++i;
+        } else if (a == "--sim-threads") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            auto s = parseSize(*v);
+            if (!s || *s == 0 || *s > 256) {
+                error = "bad sim-threads count (1..256): " + *v;
+                return std::nullopt;
+            }
+            cfg.simThreads = static_cast<std::uint32_t>(*s);
+            ++i;
         } else if (a == "--fault-spec") {
             auto v = need(i);
             if (!v)
@@ -624,9 +640,10 @@ collectPoint(Machine &m, std::optional<Target> target, int pid,
     if (auto qs = m.qosStats())
         p.qos = *qs;
     // Merge (not assign): a point that builds several machines (the
-    // latency probes) accumulates one exact roll-up.
-    if (AttributionBoard *ab = m.attribution())
-        p.attrib.merge(ab->snapshot(m.eq().curTick()));
+    // latency probes) accumulates one exact roll-up. attribSnapshot()
+    // folds in the per-domain shard boards of the parallel engine.
+    if (m.attribution())
+        p.attrib.merge(m.attribSnapshot());
     if (!collectObs)
         return;
     if (RequestTracer *tr = m.tracer()) {
@@ -876,6 +893,7 @@ runCli(const CliConfig &cfg)
     opts.faults = cfg.faults;
     opts.qos = cfg.qos;
     opts.watchdogUs = cfg.watchdogUs;
+    opts.simThreads = cfg.simThreads;
     opts.obs = cfg.observability();
     const bool ras = cfg.faults.enabled();
     const bool qos = cfg.qos.enabled();

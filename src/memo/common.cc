@@ -41,6 +41,7 @@ makeMachine(Target target, const Options &opts, bool prefetch)
     mo.faults = opts.faults;
     mo.qos = opts.qos;
     mo.obs = opts.obs;
+    mo.simThreads = opts.simThreads;
     if (opts.watchdogUs > 0.0)
         mo.watchdogInterval = ticksFromUs(opts.watchdogUs);
     const Testbed tb = target == Target::Ddr5Remote
@@ -78,7 +79,7 @@ runStream(Machine &m, std::uint16_t core,
     // The watchdog stands down when the queue quiesces between
     // streams; restart its snapshot cycle for this stream's run.
     m.rearmWatchdog();
-    m.eq().run();
+    m.run();
     CXLMEMO_ASSERT(thread.finished(), "stream did not finish");
     return {start, end};
 }

@@ -67,6 +67,11 @@ struct Options
      *  by default. */
     ObservabilityOptions obs;
 
+    /** Worker threads for the domain-partitioned parallel simulation
+     *  engine; 0 (the default) keeps the classic single-queue engine
+     *  (see MachineOptions::simThreads for the contract). */
+    std::uint32_t simThreads = 0;
+
     /**
      * Invoked on each experiment Machine after its run completes and
      * before the machine is destroyed -- the collection point for

@@ -32,6 +32,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/pool.hh"
 
 namespace cxlmemo
 {
@@ -62,6 +63,15 @@ class InlineCallback<R(Args...), InlineBytes>
             ::new (static_cast<void *>(storage_)) D(std::forward<F>(f));
             invoke_ = &invokeInline<D>;
             ops_ = &inlineOps<D>;
+        } else if constexpr (alignof(D) <= alignof(std::max_align_t)) {
+            // Spilled callables are hot-path traffic (device events
+            // moving a MemRequest); serve the cell from the free-list
+            // pool instead of global new.
+            void *cell = poolAlloc(sizeof(D));
+            ::new (static_cast<void *>(storage_))
+                (D *)(::new (cell) D(std::forward<F>(f)));
+            invoke_ = &invokeHeap<D>;
+            ops_ = &pooledHeapOps<D>;
         } else {
             ::new (static_cast<void *>(storage_))
                 (D *)(new D(std::forward<F>(f)));
@@ -179,6 +189,20 @@ class InlineCallback<R(Args...), InlineBytes>
     static constexpr Ops heapOps = {
         nullptr,
         [](void *target) { delete *static_cast<D **>(target); },
+        /*bytes=*/sizeof(D *),
+        /*onHeap=*/true,
+    };
+
+    /** As heapOps, but the cell came from poolAlloc (the common case:
+     *  anything not over-aligned). */
+    template <typename D>
+    static constexpr Ops pooledHeapOps = {
+        nullptr,
+        [](void *target) {
+            D *p = *static_cast<D **>(target);
+            p->~D();
+            poolFree(p, sizeof(D));
+        },
         /*bytes=*/sizeof(D *),
         /*onHeap=*/true,
     };

@@ -36,6 +36,8 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/callback.hh"
@@ -107,11 +109,98 @@ class EventQueue
         }
     }
 
-    /** Schedule @p cb to run @p delay ticks from now. */
+    /**
+     * Schedule @p cb to run @p delay ticks from now.
+     *
+     * @throws std::invalid_argument when curTick() + delay overflows
+     *     Tick. Tick is unsigned, so a negative delay computed by a
+     *     caller arrives here as a huge positive value -- the overflow
+     *     check catches both mistakes, in the same throwing style as
+     *     the config-validation layer, instead of silently wrapping
+     *     into the past and tripping the schedule() assert with a
+     *     nonsense tick.
+     */
     void
     scheduleIn(Tick delay, Callback cb)
     {
+        if (delay > maxTick - curTick_) {
+            throw std::invalid_argument(
+                "EventQueue::scheduleIn: delay "
+                + std::to_string(delay) + " from tick "
+                + std::to_string(curTick_)
+                + " overflows the tick counter (negative delay?)");
+        }
         schedule(curTick_ + delay, std::move(cb));
+    }
+
+    /**
+     * Earliest pending event time, without disturbing queue state;
+     * maxTick when empty. The parallel executor uses this to pick the
+     * next safe-window start across domains.
+     */
+    Tick
+    peekNextTick() const
+    {
+        if (size_ == 0)
+            return maxTick;
+        Tick best = maxTick;
+        if (activeIdx_ < order_.size())
+            best = activeWindowStart_ + (order_[activeIdx_] >> 32);
+        if (!far_.empty() && far_.front().when < best)
+            best = far_.front().when;
+        if (wheelCount_ > 0) {
+            // Same occupancy-bitmap scan as loadNextWindow, minus the
+            // mutation: find the first populated window, then take the
+            // min tick inside its (unsorted) bucket.
+            const Tick startTick =
+                std::max(nextScanWindow_, windowStart(curTick_));
+            const std::size_t s = windowIndex(startTick);
+            std::size_t word = s >> 6;
+            std::uint64_t bits =
+                occ_[word] & (~std::uint64_t(0) << (s & 63));
+            while (bits == 0) {
+                word = (word + 1) % occWords;
+                bits = occ_[word];
+            }
+            const std::size_t b = (word << 6) + std::countr_zero(bits);
+            for (const Event &ev : wheel_[b])
+                if (ev.when < best)
+                    best = ev.when;
+        }
+        return best;
+    }
+
+    /**
+     * Mark the queue as being driven from outside runUntil(): the
+     * parallel executor delivers staged cross-window callbacks by
+     * invoking them directly at the window barrier. While driven, the
+     * usual reentrancy rules apply exactly as inside a callback --
+     * schedule() is fine, reset()/runUntil() assert.
+     */
+    void
+    beginExternalDrive()
+    {
+        CXLMEMO_ASSERT(!running_ && !driven_,
+                       "beginExternalDrive on a queue already running");
+        driven_ = true;
+    }
+
+    void
+    endExternalDrive()
+    {
+        CXLMEMO_ASSERT(driven_, "endExternalDrive without begin");
+        driven_ = false;
+    }
+
+    /** Advance time to @p now without executing anything (used by the
+     *  parallel executor to align an idle domain with the barrier). */
+    void
+    advanceTo(Tick now)
+    {
+        CXLMEMO_ASSERT(now >= curTick_, "advanceTo into the past");
+        CXLMEMO_ASSERT(peekNextTick() >= now,
+                       "advanceTo skipping pending events");
+        curTick_ = now;
     }
 
     /**
@@ -122,7 +211,8 @@ class EventQueue
     bool
     runUntil(Tick limit)
     {
-        CXLMEMO_ASSERT(!running_, "runUntil called from a callback");
+        CXLMEMO_ASSERT(!running_ && !driven_,
+                       "runUntil called from a callback");
         running_ = true;
         while (size_ > 0) {
             // Lazily sort the next populated wheel window once the
@@ -197,7 +287,12 @@ class EventQueue
     void
     reset()
     {
-        CXLMEMO_ASSERT(!running_, "reset called from a callback");
+        // Staged cross-window callbacks run under an external drive
+        // rather than runUntil, so the reentrancy assert must cover
+        // both flags -- resetting mid-delivery would free events the
+        // executor still holds.
+        CXLMEMO_ASSERT(!running_ && !driven_,
+                       "reset called from a callback");
         for (auto &bucket : wheel_)
             bucket.clear();
         for (auto &word : occ_)
@@ -345,6 +440,7 @@ class EventQueue
     std::size_t wheelCount_ = 0;
     std::size_t size_ = 0;
     bool running_ = false;
+    bool driven_ = false; //!< inside beginExternalDrive/endExternalDrive
 
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;

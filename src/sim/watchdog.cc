@@ -40,6 +40,8 @@ Watchdog::arm()
     // mistaken for progress within the next interval, and vice versa.
     lastRetired_ = totalRetired();
     strikes_ = 0;
+    if (onSchedule_)
+        onSchedule_(eq_.curTick() + params_.interval);
     eq_.scheduleIn(params_.interval, [this] { snapshot(); });
 }
 
@@ -77,7 +79,9 @@ Watchdog::snapshot()
     }
     lastRetired_ = retired;
 
-    if (eq_.pending() > 0) {
+    const std::size_t left =
+        pendingHook_ ? pendingHook_() : eq_.pending();
+    if (left > 0) {
         arm();
     } else if (outstanding > 0) {
         trip("event queue drained with "

@@ -170,6 +170,22 @@ TEST(ConfigValidation, InterleavedMemoryRejectsZeroChannels)
         std::invalid_argument);
 }
 
+/* ------------------------- event queue --------------------------- */
+
+TEST(ConfigValidation, ScheduleInRejectsNegativeAndOverflowingDelays)
+{
+    // Same throwing style as the parameter structs: a delay that wraps
+    // the tick counter (which is what a negative delay looks like once
+    // cast to the unsigned Tick) is a caller bug, reported eagerly.
+    EventQueue eq;
+    eq.schedule(1000, [] {});
+    eq.run();
+    EXPECT_THROW(eq.scheduleIn(static_cast<Tick>(-1), [] {}),
+                 std::invalid_argument);
+    EXPECT_THROW(eq.scheduleIn(maxTick, [] {}), std::invalid_argument);
+    EXPECT_NO_THROW(eq.scheduleIn(0, [] {}));
+}
+
 /* -------------------------- fault spec --------------------------- */
 
 TEST(ConfigValidation, FaultSpecDefaultIsValid)

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/pool.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
@@ -320,6 +321,170 @@ TEST(EventQueueDeathTest, SchedulingIntoThePastPanics)
     eq.schedule(100, [] {});
     eq.run();
     EXPECT_DEATH(eq.schedule(50, [] {}), "scheduling into the past");
+}
+
+TEST(EventQueue, ScheduleInRejectsOverflowingDelay)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    ASSERT_EQ(eq.curTick(), 100u);
+    // A delay that would wrap the tick counter -- including any
+    // negative delay a caller cast to the unsigned Tick -- must throw
+    // instead of silently wrapping into the past.
+    EXPECT_THROW(eq.scheduleIn(maxTick - 50, [] {}),
+                 std::invalid_argument);
+    EXPECT_THROW(eq.scheduleIn(static_cast<Tick>(-5), [] {}),
+                 std::invalid_argument);
+    // The exact boundary still schedules.
+    EXPECT_NO_THROW(eq.scheduleIn(maxTick - eq.curTick(), [] {}));
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+/* ------------------------- peekNextTick -------------------------- */
+
+TEST(EventQueue, PeekNextTickEmptyQueueReportsMaxTick)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.peekNextTick(), maxTick);
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_EQ(eq.peekNextTick(), maxTick);
+}
+
+TEST(EventQueue, PeekNextTickSeesWheelFarAndActiveWindow)
+{
+    EventQueue eq;
+    // Wheel event (near future).
+    eq.schedule(ticksFromNs(40), [] {});
+    EXPECT_EQ(eq.peekNextTick(), ticksFromNs(40));
+    // An out-of-order earlier event in the same unsorted bucket must
+    // win the peek: the scan takes the bucket min, not the first entry.
+    eq.schedule(ticksFromNs(39), [] {});
+    EXPECT_EQ(eq.peekNextTick(), ticksFromNs(39));
+    // Far-heap event beyond the wheel horizon does not hide the wheel.
+    eq.schedule(ticksFromUs(100), [] {});
+    EXPECT_EQ(eq.peekNextTick(), ticksFromNs(39));
+    // Drain the wheel: only the far event remains.
+    eq.runUntil(ticksFromNs(50));
+    EXPECT_EQ(eq.peekNextTick(), ticksFromUs(100));
+}
+
+TEST(EventQueue, PeekNextTickSeesRemainderOfSortedWindow)
+{
+    EventQueue eq;
+    // Both land in one ~4 ns window; stop mid-window so the second
+    // sits in the already-sorted active window.
+    eq.schedule(1000, [] {});
+    eq.schedule(1020, [] {});
+    eq.runUntil(1005);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_EQ(eq.peekNextTick(), 1020u);
+}
+
+TEST(EventQueue, PeekNextTickMatchesExecutionUnderRandomLoad)
+{
+    EventQueue eq;
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i)
+        eq.schedule(rng.below(ticksFromUs(5)), [] {});
+    while (eq.pending() > 0) {
+        const Tick peek = eq.peekNextTick();
+        const std::uint64_t before = eq.eventsExecuted();
+        eq.runUntil(peek);
+        // At least one event must sit exactly at the peeked tick.
+        EXPECT_GT(eq.eventsExecuted(), before);
+        EXPECT_EQ(eq.curTick(), peek);
+    }
+}
+
+/* ------------------------ external drive ------------------------- */
+
+TEST(EventQueue, ExternalDriveAllowsSchedulingAndAdvance)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    eq.beginExternalDrive();
+    eq.schedule(150, [] {});
+    eq.endExternalDrive();
+    eq.advanceTo(120);
+    EXPECT_EQ(eq.curTick(), 120u);
+    eq.run();
+    EXPECT_EQ(eq.curTick(), 150u);
+}
+
+TEST(EventQueueDeathTest, ResetFromStagedCallbackPanics)
+{
+    // A staged cross-window callback runs under an external drive, not
+    // inside runUntil; reset() must refuse there exactly as it does
+    // from an ordinary callback.
+    EventQueue eq;
+    eq.beginExternalDrive();
+    EXPECT_DEATH(eq.reset(), "reset called from a callback");
+}
+
+TEST(EventQueueDeathTest, RunUntilFromStagedCallbackPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.beginExternalDrive();
+    EXPECT_DEATH(eq.runUntil(100), "runUntil called from a callback");
+}
+
+TEST(EventQueueDeathTest, ResetFromOrdinaryCallbackPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [&] { eq.reset(); });
+    EXPECT_DEATH(eq.run(), "reset called from a callback");
+}
+
+/* ------------------------- callback pool ------------------------- */
+
+TEST(Pool, ReusesFreedCells)
+{
+    const std::uint64_t a0 = poolAllocCount();
+    void *p = poolAlloc(96);
+    poolFree(p, 96);
+    void *q = poolAlloc(96); // same 128 B size class -> same cell back
+    EXPECT_EQ(q, p);
+    poolFree(q, 96);
+    EXPECT_GE(poolAllocCount() - a0, 2u);
+    EXPECT_GE(poolReuseCount(), 1u);
+}
+
+TEST(Pool, LargeAllocationsFallBackToOperatorNew)
+{
+    const std::uint64_t f0 = poolFallbackCount();
+    void *p = poolAlloc(64 * kiB);
+    EXPECT_NE(p, nullptr);
+    poolFree(p, 64 * kiB);
+    EXPECT_EQ(poolFallbackCount(), f0 + 1);
+}
+
+TEST(Pool, SpilledCallbacksRoundTripThroughThePool)
+{
+    // A capture bigger than the inline buffer spills to a pool cell;
+    // scheduling and running many such events must recycle cells, and
+    // the callback must still see its payload intact.
+    struct Big
+    {
+        std::uint64_t payload[12]; // 96 B > 48 B inline buffer
+    };
+    EventQueue eq;
+    const std::uint64_t a0 = poolAllocCount();
+    std::uint64_t sum = 0;
+    for (int round = 0; round < 4; ++round) {
+        for (std::uint64_t i = 0; i < 8; ++i) {
+            Big big{};
+            big.payload[11] = i;
+            eq.scheduleIn(10 + i, [big, &sum] { sum += big.payload[11]; });
+        }
+        eq.run();
+    }
+    EXPECT_EQ(sum, 4u * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+    EXPECT_GE(poolAllocCount() - a0, 32u);
+    EXPECT_GE(poolReuseCount(), 1u);
 }
 
 TEST(Types, TickConversionsRoundTrip)
