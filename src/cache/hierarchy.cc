@@ -180,6 +180,8 @@ CacheHierarchy::missToMemory(std::uint16_t core, std::uint64_t la,
                 poisonedLines_.insert(la);
                 rasStats_.poisonedFills++;
                 faults_->stats().poisonConsumed++;
+                if (poisonSink_)
+                    poisonSink_(paddrOfLine(la), t);
             }
             fillLlc(core, la, LineState::Exclusive, t);
             fillL2(core, la, LineState::Exclusive, t);
@@ -262,6 +264,8 @@ CacheHierarchy::observeForPrefetch(std::uint16_t core, std::uint64_t la,
                     poisonedLines_.insert(target);
                     rasStats_.poisonedFills++;
                     faults_->stats().poisonConsumed++;
+                    if (poisonSink_)
+                        poisonSink_(paddrOfLine(target), t);
                 }
                 fillLlc(core, target, LineState::Exclusive, t);
                 fillL2(core, target, LineState::Exclusive, t, true);

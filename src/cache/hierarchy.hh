@@ -20,6 +20,7 @@
 #define CXLMEMO_CACHE_HIERARCHY_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_set>
@@ -174,6 +175,14 @@ class CacheHierarchy
     /** Wire up fault injection (poison tracking); nullptr disables. */
     void setFaultInjector(FaultInjector *f) { faults_ = f; }
 
+    /** Sink fired with the physical address of every poison-consuming
+     *  fill -- feeds the chaos layer's per-page error ledger. */
+    void
+    setPoisonSink(std::function<void(Addr, Tick)> sink)
+    {
+        poisonSink_ = std::move(sink);
+    }
+
     /** Wire up request-lifecycle tracing; nullptr disables (the
      *  default: cores never open spans, devices see null spans). */
     void setTracer(RequestTracer *t) { tracer_ = t; }
@@ -320,6 +329,7 @@ class CacheHierarchy
     AccountedStation *station_ = nullptr;
 
     FaultInjector *faults_ = nullptr;
+    std::function<void(Addr, Tick)> poisonSink_;
     /** Cached lines whose data carries poison from a faulty read. */
     std::unordered_set<std::uint64_t> poisonedLines_;
     bool deliveryPoisoned_ = false;

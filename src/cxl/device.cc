@@ -1,6 +1,7 @@
 #include "cxl/device.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -86,6 +87,10 @@ CxlMemDevice::access(MemRequest req)
             if (cb)
                 cb(t);
         };
+    }
+    if (chaos_ && !chaos_->present) {
+        abortRequest(std::move(req), eq_.curTick());
+        return;
     }
     if (req.cmd == MemCmd::NtWrite) {
         if (ntPosted_ < params_.hostPostedEntries) {
@@ -409,13 +414,31 @@ CxlMemDevice::admitRead(MemRequest req)
                                           cb = std::move(cb),
                                           arrive]() mutable {
                         noteResponse(/*write=*/false, arrive);
-                        if (poisoned)
+                        bool armed = poisoned;
+                        // An in-flight read caught by a hot-remove is
+                        // contained like a fresh arrival: its data is
+                        // suspect the moment the device vanished.
+                        const bool removed = chaos_ && !chaos_->present;
+                        if (removed && faults_) {
+                            if (chaos_->stats.removeDetectAt == 0)
+                                chaos_->stats.removeDetectAt = arrive;
+                            if (!armed) {
+                                faults_->stats().poisonInjected++;
+                                armed = true;
+                            }
+                            if (chaos_->spec.contain
+                                == ContainPolicy::Abort) {
+                                faults_->stats().poisonContained++;
+                                armed = false;
+                            }
+                        }
+                        if (armed)
                             faults_->armPoison();
                         if (cb)
                             cb(arrive);
                         // Anything not absorbed by the cache hierarchy
                         // reached a non-caching consumer.
-                        if (poisoned && faults_->consumePoison()) {
+                        if (armed && faults_->consumePoison()) {
                             faults_->stats().poisonDelivered++;
                             CXLMEMO_WARN_RATELIMITED(8,
                                 "%s: poisoned line delivered to "
@@ -491,6 +514,186 @@ CxlMemDevice::admitWrite(MemRequest req)
     } else {
         backend_->access(std::move(drain));
     }
+}
+
+/* ------------------- failure lifecycle (chaos) ------------------- */
+
+void
+CxlMemDevice::armChaos(const ChaosSpec &spec)
+{
+    spec.validate();
+    CXLMEMO_ASSERT(!chaos_, "%s: chaos already armed",
+                   params_.name.c_str());
+    chaos_ = std::make_unique<DeviceChaos>();
+    chaos_->spec = spec;
+    down_.setLifecycle(&chaos_->link);
+    up_.setLifecycle(&chaos_->link);
+    chaos_->link.ceilingBurst = spec.crcBurstTrigger;
+    chaos_->link.onCeilingBurst = [this](Tick at) {
+        announce(at, "CRC burst at degradation ceiling");
+        beginLinkOutage(at);
+    };
+    // Containment accounting rides the response-delivery event, so
+    // every response needs one.
+    instrumented_ = true;
+    if (spec.linkDownAtNs > 0) {
+        eq_.schedule(
+            ticksFromNs(static_cast<double>(spec.linkDownAtNs)),
+            [this] { beginLinkOutage(eq_.curTick()); });
+    }
+    if (spec.removeAtNs > 0) {
+        eq_.schedule(ticksFromNs(static_cast<double>(spec.removeAtNs)),
+                     [this] { hotRemove(eq_.curTick()); });
+    }
+    if (spec.readdAtNs > 0) {
+        eq_.schedule(ticksFromNs(static_cast<double>(spec.readdAtNs)),
+                     [this] { hotReadd(eq_.curTick()); });
+    }
+}
+
+void
+CxlMemDevice::announce(Tick at, const std::string &text)
+{
+    if (chaos_->log.size() < 64) {
+        char head[48];
+        std::snprintf(head, sizeof(head), "t=%.1f ns: ",
+                      nsFromTicks(at));
+        chaos_->log.push_back(head + text);
+    }
+    if (chaosAnnounce_)
+        chaosAnnounce_(at, text);
+}
+
+void
+CxlMemDevice::beginLinkOutage(Tick now)
+{
+    DeviceChaos &c = *chaos_;
+    if (c.link.downUntil > now)
+        return; // already down / retraining
+    const Tick retrain = ticksFromNs(c.spec.retrainNs);
+    c.link.downUntil = now + retrain;
+    c.link.detectAt = 0;
+    c.link.ceilingBurst = 0; // re-armed once back at full width
+    ++c.stats.linkDowns;
+    c.stats.linkDownAt = now;
+    announce(now, "link DOWN, retraining");
+    eq_.schedule(c.link.downUntil,
+                 [this] { retrainComplete(eq_.curTick()); });
+}
+
+void
+CxlMemDevice::retrainComplete(Tick at)
+{
+    DeviceChaos &c = *chaos_;
+    ++c.stats.retrains;
+    c.stats.linkUpAt = at;
+    // Real links re-enter at reduced width/speed and renegotiate up.
+    down_.setDegradeLevel(2);
+    up_.setDegradeLevel(2);
+    announce(at, "link retrained at degraded width (level 2)");
+    eq_.schedule(at + ticksFromNs(c.spec.stepUpNs),
+                 [this] { stepUpWidth(eq_.curTick()); });
+}
+
+void
+CxlMemDevice::stepUpWidth(Tick at)
+{
+    DeviceChaos &c = *chaos_;
+    const std::uint32_t lvl = down_.degradeLevel();
+    if (lvl == 0)
+        return;
+    down_.setDegradeLevel(lvl - 1);
+    up_.setDegradeLevel(lvl - 1);
+    ++c.stats.widthStepUps;
+    if (lvl - 1 == 0) {
+        c.stats.linkFullWidthAt = at;
+        c.link.ceilingBurst = c.spec.crcBurstTrigger;
+        announce(at, "link back at full width");
+    } else {
+        announce(at, "link width step-up (level "
+                         + std::to_string(lvl - 1) + ")");
+        eq_.schedule(at + ticksFromNs(c.spec.stepUpNs),
+                     [this] { stepUpWidth(eq_.curTick()); });
+    }
+}
+
+void
+CxlMemDevice::hotRemove(Tick at)
+{
+    DeviceChaos &c = *chaos_;
+    if (!c.present)
+        return;
+    c.present = false;
+    ++c.stats.removals;
+    c.stats.removeAt = at;
+    announce(at, std::string("device hot-removed (contain=")
+                     + containPolicyName(c.spec.contain) + ")");
+}
+
+void
+CxlMemDevice::hotReadd(Tick at)
+{
+    DeviceChaos &c = *chaos_;
+    if (c.present)
+        return;
+    c.present = true;
+    ++c.stats.readds;
+    c.stats.readdAt = at;
+    announce(at, "device re-added (capacity restored empty)");
+}
+
+void
+CxlMemDevice::abortRequest(MemRequest req, Tick now)
+{
+    DeviceChaos &c = *chaos_;
+    if (c.stats.removeDetectAt == 0)
+        c.stats.removeDetectAt = now;
+    const bool write = isWrite(req.cmd);
+    if (write)
+        ++c.stats.abortedWrites;
+    else
+        ++c.stats.abortedReads;
+    c.stats.abortedBytes += req.size;
+    const Tick done = now + ticksFromNs(c.spec.abortNs);
+    // NT stores wait for acceptance before releasing their WC buffer;
+    // an aborted store is "accepted" by the error response.
+    if (req.onAccept) {
+        eq_.schedule(done, [accept = std::move(req.onAccept),
+                            done] { accept(done); });
+    }
+    const bool poison = !write && faults_ != nullptr;
+    eq_.schedule(done, [this, poison,
+                        cb = std::move(req.onComplete), done]() mutable {
+        if (poison) {
+            RasStats &rs = faults_->stats();
+            rs.poisonInjected++;
+            if (chaos_->spec.contain == ContainPolicy::Poison)
+                faults_->armPoison();
+            else
+                rs.poisonContained++;
+        }
+        if (instrumented_) {
+            ++retired_;
+            CXLMEMO_ASSERT(hostInFlight_ > 0, "host in-flight underflow");
+            --hostInFlight_;
+        }
+        if (cb)
+            cb(done);
+        if (poison && chaos_->spec.contain == ContainPolicy::Poison
+            && faults_->consumePoison())
+            faults_->stats().poisonDelivered++;
+    });
+}
+
+ChaosStats
+CxlMemDevice::chaosStats() const
+{
+    if (!chaos_)
+        return {};
+    ChaosStats s = chaos_->stats;
+    s.blockedMsgs = chaos_->link.blockedMsgs;
+    s.linkDetectAt = chaos_->link.detectAt;
+    return s;
 }
 
 void

@@ -33,6 +33,7 @@
 #include "cxl/link.hh"
 #include "mem/dram.hh"
 #include "mem/request.hh"
+#include "sim/chaos.hh"
 #include "sim/event_queue.hh"
 #include "sim/histogram.hh"
 #include "sim/qos.hh"
@@ -262,6 +263,45 @@ class CxlMemDevice : public MemoryDevice, public ProgressSource
     /** Fill the credit/telemetry half of machine-wide QoS stats. */
     void fillQosStats(QosStats &qs) const;
 
+    /* ------------------ failure lifecycle (chaos) ----------------- */
+
+    /**
+     * Arm the failure-lifecycle layer: schedules the scripted link
+     * outage and hot-remove/re-add events on this device's own event
+     * queue (so they stay domain-local in the parallel engine),
+     * installs the CRC-ceiling outage trigger on both link
+     * directions, and enables progress tracking so every response has
+     * a delivery event to carry containment accounting. Never called
+     * (the default) = zero chaos state, bit-identical behaviour.
+     */
+    void armChaos(const ChaosSpec &spec);
+
+    /** Host-side announcement sink for chaos transitions (watchdog /
+     *  flight recorder / attribution); called with the transition
+     *  tick and a one-line description. In the parallel engine the
+     *  Machine installs a sink that cross-posts into the host domain. */
+    void
+    setChaosAnnounce(std::function<void(Tick, const std::string &)> sink)
+    {
+        chaosAnnounce_ = std::move(sink);
+    }
+
+    /** False while hot-removed. True when chaos is unarmed. */
+    bool present() const { return !chaos_ || chaos_->present; }
+
+    /** Device-side chaos accounting (link FSM + removal FSM);
+     *  all-zero when chaos is unarmed. */
+    ChaosStats chaosStats() const;
+
+    /** Bounded transition log ("t=... ns: link DOWN ..."), for the
+     *  drill report and the watchdog post-mortem. */
+    const std::vector<std::string> &
+    chaosLog() const
+    {
+        static const std::vector<std::string> empty;
+        return chaos_ ? chaos_->log : empty;
+    }
+
     /* ----------------- ProgressSource (watchdog) ------------------ */
 
     std::string progressName() const override { return params_.name; }
@@ -313,6 +353,31 @@ class CxlMemDevice : public MemoryDevice, public ProgressSource
     /** Resample the DevLoad meter after an occupancy change. */
     void qosSample();
 
+    /* ------------------ failure lifecycle (chaos) ----------------- */
+
+    /** Per-device chaos state; only allocated by armChaos. */
+    struct DeviceChaos
+    {
+        ChaosSpec spec;
+        LinkLifecycle link; //!< shared by both directions
+        ChaosStats stats;
+        bool present = true;
+        std::vector<std::string> log;
+    };
+
+    /** Transition to link DOWN (scheduled or CRC-burst triggered). */
+    void beginLinkOutage(Tick now);
+    /** Retrain finished: link back at the degraded-width ceiling. */
+    void retrainComplete(Tick at);
+    /** One post-retrain width recovery step. */
+    void stepUpWidth(Tick at);
+    void hotRemove(Tick at);
+    void hotReadd(Tick at);
+    /** Complete a request caught by a hot-removed device per the
+     *  containment policy (abort, or complete-with-poison). */
+    void abortRequest(MemRequest req, Tick now);
+    void announce(Tick at, const std::string &text);
+
     EventQueue &eq_;
     CxlDeviceParams params_;
     FaultInjector *faults_ = nullptr;
@@ -348,6 +413,10 @@ class CxlMemDevice : public MemoryDevice, public ProgressSource
 
     /* observability (nullptr unless enabled) */
     std::unique_ptr<LatencyHistogram> latHist_;
+
+    /* failure lifecycle (nullptr unless armChaos ran) */
+    std::unique_ptr<DeviceChaos> chaos_;
+    std::function<void(Tick, const std::string &)> chaosAnnounce_;
 
     /* latency accounting (all nullptr unless setAttribution ran) */
     AttributionBoard *board_ = nullptr;

@@ -25,6 +25,7 @@
 #define CXLMEMO_CXL_LINK_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -88,6 +89,46 @@ struct CxlLinkParams
 };
 
 /**
+ * Shared link-lifecycle state for a full link (both directions): the
+ * chaos layer's DOWN/retrain FSM. Owned by the device; each
+ * CxlLinkDirection consults it with a single pointer test per
+ * transmit, so a build without a lifecycle attached is bit-identical.
+ * While the link is DOWN (now < downUntil) every message naks into
+ * the replay buffer and serializes only after retrain completes.
+ */
+struct LinkLifecycle
+{
+    /** Link blocked (DOWN / retraining) until this tick. */
+    Tick downUntil = 0;
+
+    /** CRC errors observed *at* the degradation ceiling that trigger
+     *  an un-scheduled outage; 0 = never. Disarmed when it fires (the
+     *  device re-arms after retrain). */
+    std::uint32_t ceilingBurst = 0;
+    std::uint32_t ceilingErrors = 0;
+
+    /** Fired once when ceilingErrors reaches ceilingBurst. */
+    std::function<void(Tick)> onCeilingBurst;
+
+    /* Link-side chaos accounting, merged by the device. */
+    std::uint64_t blockedMsgs = 0;
+    Tick detectAt = 0; //!< first blocked message of the last outage
+
+    void
+    noteCeilingError(Tick at)
+    {
+        if (ceilingBurst == 0)
+            return;
+        if (++ceilingErrors >= ceilingBurst) {
+            ceilingErrors = 0;
+            ceilingBurst = 0;
+            if (onCeilingBurst)
+                onCeilingBurst(at);
+        }
+    }
+};
+
+/**
  * One direction of a CXL link: a serialization rate limiter plus
  * propagation delay. Host-to-device (M2S) and device-to-host (S2M)
  * each instantiate one.
@@ -115,7 +156,15 @@ class CxlLinkDirection
     transmit(std::uint32_t bytes, bool attrib = false)
     {
         const Tick now = eq_.curTick();
-        const Tick start = std::max(now, freeAt_);
+        Tick start = std::max(now, freeAt_);
+        if (lifecycle_ && lifecycle_->downUntil > start) {
+            // Link DOWN: the message naks into the replay buffer and
+            // serializes once retrain completes.
+            ++lifecycle_->blockedMsgs;
+            if (lifecycle_->detectAt == 0)
+                lifecycle_->detectAt = start;
+            start = lifecycle_->downUntil;
+        }
         const double eff = effectiveRawGBps() * params_.flitEfficiency;
         Tick done = start + serializationTicks(bytes, eff);
         bytesMoved_ += bytes;
@@ -172,6 +221,20 @@ class CxlLinkDirection
 
     std::uint32_t degradeLevel() const { return degradeLevel_; }
 
+    /** Attach the shared DOWN/retrain lifecycle (chaos layer). */
+    void setLifecycle(LinkLifecycle *lc) { lifecycle_ = lc; }
+
+    /** Force the width level (post-retrain re-entry / step-up); also
+     *  re-arms the burst window so old errors never count anew. */
+    void
+    setDegradeLevel(std::uint32_t level)
+    {
+        degradeLevel_ = std::min(level, 2u);
+        errorsSinceDegrade_ = 0;
+        windowDowngraded_ = false;
+        degradeWindowEnd_ = 0;
+    }
+
   private:
     /** One LLR round is bounded; a flit that keeps failing past this
      *  many replays is delivered anyway (real links would retrain). */
@@ -204,22 +267,37 @@ class CxlLinkDirection
                                      + serializationTicks(replay, eff);
                 rs.retryTicks += penalty;
                 done += penalty;
-                noteError(rs);
+                noteError(rs, done);
             }
         }
         return done;
     }
 
-    /** Degradation policy: every degradeBurst CRC errors downgrade
-     *  the link once (halving rawGBps), at most twice. */
+    /**
+     * Degradation policy: degradeBurst CRC errors inside one
+     * observation window downgrade the link once (halving rawGBps),
+     * at most twice overall and at most once per window -- the
+     * counter re-arms at window expiry, so two closely-spaced bursts
+     * cannot double-downgrade within a single window. Errors at the
+     * ceiling feed the lifecycle's outage trigger instead.
+     */
     void
-    noteError(RasStats &rs)
+    noteError(RasStats &rs, Tick at)
     {
         const std::uint32_t burst = faults_->spec().degradeBurst;
-        if (burst == 0 || degradeLevel_ >= 2)
+        if (burst == 0 || degradeLevel_ >= 2) {
+            if (lifecycle_ && degradeLevel_ >= 2)
+                lifecycle_->noteCeilingError(at);
             return;
-        if (++errorsSinceDegrade_ >= burst) {
+        }
+        if (at >= degradeWindowEnd_) {
+            degradeWindowEnd_ = at + faults_->spec().degradeWindow;
+            errorsSinceDegrade_ = 0;
+            windowDowngraded_ = false;
+        }
+        if (++errorsSinceDegrade_ >= burst && !windowDowngraded_) {
             ++degradeLevel_;
+            windowDowngraded_ = true;
             errorsSinceDegrade_ = 0;
             rs.linkDegradations++;
         }
@@ -232,8 +310,11 @@ class CxlLinkDirection
     Tick freeAt_ = 0;
     std::uint64_t bytesMoved_ = 0;
     AccountedStation *station_ = nullptr;
+    LinkLifecycle *lifecycle_ = nullptr;
     std::uint32_t degradeLevel_ = 0;
     std::uint32_t errorsSinceDegrade_ = 0;
+    Tick degradeWindowEnd_ = 0;
+    bool windowDowngraded_ = false;
 };
 
 } // namespace cxlmemo

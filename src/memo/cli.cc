@@ -1,5 +1,6 @@
 #include "memo/cli.hh"
 
+#include <cctype>
 #include <cstdio>
 #include <limits>
 #include <sstream>
@@ -58,6 +59,8 @@ parseMode(const std::string &s)
         return CliMode::Loaded;
     if (s == "report")
         return CliMode::Report;
+    if (s == "drill")
+        return CliMode::Drill;
     if (s == "help")
         return CliMode::Help;
     return std::nullopt;
@@ -89,6 +92,19 @@ parseMethod(const std::string &s)
     if (s == "dsa" || s == "dsa-async")
         return CopyMethod::DsaAsync;
     return std::nullopt;
+}
+
+/** An empty or whitespace-only spec value means the shell ate the
+ *  real one (unquoted substitution, stray trailing flag); every spec
+ *  parser would accept it as "all defaults", silently running without
+ *  the faults/QoS/chaos the user asked for. Reject it instead. */
+bool
+blankSpec(const std::string &s)
+{
+    for (char c : s)
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            return false;
+    return true;
 }
 
 } // namespace
@@ -170,6 +186,11 @@ cliUsage()
         "  loaded    loaded-latency probe\n"
         "  report    bandwidth sweep with a per-point latency\n"
         "            breakdown table and bottleneck verdict\n"
+        "  drill     deterministic failure drill on the CXL device:\n"
+        "            link down/retrain, hot-remove/re-add and\n"
+        "            poison-driven page offlining under a load flood,\n"
+        "            reporting degraded-mode throughput, time-to-\n"
+        "            detect, MTTR and data-at-risk\n"
         "\n"
         "options:\n"
         "  --target  ddr5-l8 | ddr5-r1 | cxl         (default ddr5-l8)\n"
@@ -201,7 +222,14 @@ cliUsage()
         "                ewma-ns= period-ns= ai= md= floor= slope=\n"
         "                burst= line-ns= (host throttle)\n"
         "                e.g. --qos-spec credits=24,policy=aimd\n"
-        "  --watchdog    forward-progress watchdog (100 us snapshots)\n"
+        "  --chaos-spec  key=value[,...] failure-lifecycle schedule:\n"
+        "                link-down-at-ns= retrain-ns= step-up-ns=\n"
+        "                crc-burst= (CRC errors at degrade ceiling\n"
+        "                that drop the link), remove-at-ns=\n"
+        "                readd-at-ns= contain=poison|abort abort-ns=\n"
+        "                offline-threshold= max-offline-pages= seed=\n"
+        "                e.g. --chaos-spec link-down-at-ns=60000,\n"
+        "                remove-at-ns=100000,readd-at-ns=130000\n"
         "  --watchdog-ns N   watchdog snapshot interval in ns\n"
         "  --trace-out FILE  write sampled request-lifecycle spans as\n"
         "                Chrome trace-event JSON (Perfetto-loadable)\n"
@@ -431,6 +459,10 @@ parseCli(const std::vector<std::string> &rawArgs, std::string &error)
             auto v = need(i);
             if (!v)
                 return std::nullopt;
+            if (blankSpec(*v)) {
+                error = "empty fault-spec";
+                return std::nullopt;
+            }
             std::string ferr;
             auto fs = FaultSpec::parse(*v, ferr);
             if (!fs) {
@@ -443,6 +475,10 @@ parseCli(const std::vector<std::string> &rawArgs, std::string &error)
             auto v = need(i);
             if (!v)
                 return std::nullopt;
+            if (blankSpec(*v)) {
+                error = "empty qos-spec";
+                return std::nullopt;
+            }
             std::string qerr;
             auto qs = QosSpec::parse(*v, qerr);
             if (!qs) {
@@ -450,6 +486,22 @@ parseCli(const std::vector<std::string> &rawArgs, std::string &error)
                 return std::nullopt;
             }
             cfg.qos = *qs;
+            ++i;
+        } else if (a == "--chaos-spec") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            if (blankSpec(*v)) {
+                error = "empty chaos-spec";
+                return std::nullopt;
+            }
+            std::string cerr;
+            auto cs = ChaosSpec::parse(*v, cerr);
+            if (!cs) {
+                error = cerr;
+                return std::nullopt;
+            }
+            cfg.chaos = *cs;
             ++i;
         } else if (a == "--watchdog") {
             if (cfg.watchdogUs == 0.0)
@@ -560,7 +612,8 @@ rasCsvColumns()
 {
     return ",crc_errors,link_retries,timeouts,host_retries,"
            "drain_stalls,dram_stalls,poison_injected,"
-           "poison_consumed,poison_delivered,degradations";
+           "poison_consumed,poison_delivered,poison_contained,"
+           "degradations";
 }
 
 const char *
@@ -660,7 +713,8 @@ collectPoint(Machine &m, std::optional<Target> target, int pid,
 void
 printRasCsvCells(const RasStats &rs)
 {
-    std::printf(",%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu",
+    std::printf(",%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+                "%llu",
                 (unsigned long long)rs.crcErrors,
                 (unsigned long long)rs.linkRetries,
                 (unsigned long long)rs.timeouts,
@@ -670,6 +724,7 @@ printRasCsvCells(const RasStats &rs)
                 (unsigned long long)rs.poisonInjected,
                 (unsigned long long)rs.poisonConsumed,
                 (unsigned long long)rs.poisonDelivered,
+                (unsigned long long)rs.poisonContained,
                 (unsigned long long)rs.linkDegradations);
 }
 
@@ -870,6 +925,13 @@ csvHeader(CliMode mode, bool ras, bool qos, bool hist, bool attrib)
       case CliMode::Report:
         base = "target,op,threads,gbps";
         break;
+      case CliMode::Drill:
+        base = "threads,healthy_gbps,degraded_gbps,recovered_gbps,"
+               "link_detect_ns,link_mttr_ns,remove_detect_ns,"
+               "remove_mttr_ns,data_at_risk_bytes,evacuated_bytes,"
+               "pages_offlined,offlined_bytes,migrated_bytes,"
+               "aborted_reads,aborted_writes,invariant_ok";
+        break;
       case CliMode::Help:
         return "";
     }
@@ -892,10 +954,14 @@ runCli(const CliConfig &cfg)
     opts.seed = cfg.seed;
     opts.faults = cfg.faults;
     opts.qos = cfg.qos;
+    opts.chaos = cfg.chaos;
     opts.watchdogUs = cfg.watchdogUs;
     opts.simThreads = cfg.simThreads;
     opts.obs = cfg.observability();
-    const bool ras = cfg.faults.enabled();
+    // The drill always has RAS counters (it arms a poison stream for
+    // the offlining leg even with no --fault-spec), so its CSV rows
+    // always carry the extra groups.
+    const bool ras = cfg.faults.enabled() || cfg.mode == CliMode::Drill;
     const bool qos = cfg.qos.enabled();
     const bool hist = cfg.histograms;
     const bool attrib = opts.obs.attribution;
@@ -1182,6 +1248,98 @@ runCli(const CliConfig &cfg)
             }
         }
         return finishRun(cfg, pts);
+      }
+
+      case CliMode::Drill: {
+        // One drill per thread-count point; each point is its own
+        // Machine, so SweepRunner keeps --jobs output-independent.
+        struct DrillPoint
+        {
+            PointResult p;
+            DrillResult d;
+        };
+        SweepRunner pool(cfg.jobs);
+        const auto pts = pool.map(cfg.threads.size(),
+                                  [&](std::size_t i) {
+            DrillPoint dp;
+            const Options o = hooked(dp.p, static_cast<int>(i),
+                                     Target::Cxl);
+            dp.d = runDrill(cfg.threads[i], o);
+            dp.p.ras = dp.d.ras;
+            return dp;
+        });
+        if (cfg.csv)
+            csvHeaderLine();
+        std::vector<PointResult> outs;
+        outs.reserve(pts.size());
+        for (std::size_t i = 0; i < cfg.threads.size(); ++i) {
+            const DrillResult &d = pts[i].d;
+            const ChaosStats &c = d.chaos;
+            if (cfg.csv) {
+                std::printf("%u,%.2f,%.2f,%.2f,%.1f,%.1f,%.1f,%.1f,"
+                            "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%d",
+                            cfg.threads[i], d.healthyGBps,
+                            d.degradedGBps, d.recoveredGBps,
+                            d.linkDetectNs, d.linkMttrNs,
+                            d.removeDetectNs, d.removeMttrNs,
+                            (unsigned long long)c.dataAtRiskBytes,
+                            (unsigned long long)d.evacuatedBytes,
+                            (unsigned long long)c.pagesOfflined,
+                            (unsigned long long)c.offlinedBytes,
+                            (unsigned long long)c.migratedBytes,
+                            (unsigned long long)c.abortedReads,
+                            (unsigned long long)c.abortedWrites,
+                            d.invariantOk ? 1 : 0);
+                printExtraCsvCells(pts[i].p, attrib);
+                std::printf("\n");
+            } else {
+                std::printf("CXL drill, %2u threads:\n",
+                            cfg.threads[i]);
+                std::printf("  throughput: healthy %.2f -> degraded "
+                            "%.2f -> recovered %.2f GB/s\n",
+                            d.healthyGBps, d.degradedGBps,
+                            d.recoveredGBps);
+                if (c.linkDowns > 0) {
+                    std::printf("  link: detected down in %.1f ns, "
+                                "full width back after %.1f ns "
+                                "(%llu retrain%s, %llu step-up%s)\n",
+                                d.linkDetectNs, d.linkMttrNs,
+                                (unsigned long long)c.retrains,
+                                c.retrains == 1 ? "" : "s",
+                                (unsigned long long)c.widthStepUps,
+                                c.widthStepUps == 1 ? "" : "s");
+                }
+                if (c.removals > 0) {
+                    std::printf("  device: removal detected in %.1f "
+                                "ns, re-added after %.1f ns; aborted "
+                                "%llu reads / %llu writes (%llu B)\n",
+                                d.removeDetectNs, d.removeMttrNs,
+                                (unsigned long long)c.abortedReads,
+                                (unsigned long long)c.abortedWrites,
+                                (unsigned long long)c.abortedBytes);
+                    std::printf("  containment: %llu B at risk, "
+                                "%llu B evacuated via DSA\n",
+                                (unsigned long long)c.dataAtRiskBytes,
+                                (unsigned long long)d.evacuatedBytes);
+                }
+                if (c.pagesOfflined > 0 || c.poisonEvents > 0) {
+                    std::printf("  pages: %llu offlined (%llu B), "
+                                "%llu B migrated (%llu poison "
+                                "events)\n",
+                                (unsigned long long)c.pagesOfflined,
+                                (unsigned long long)c.offlinedBytes,
+                                (unsigned long long)c.migratedBytes,
+                                (unsigned long long)c.poisonEvents);
+                }
+                std::printf("  poison invariant: %s%s\n",
+                            d.invariantOk ? "OK" : "VIOLATED",
+                            d.watchdogTripped
+                                ? " (watchdog tripped)" : "");
+                printExtraLines(pts[i].p, ras, qos, hist, attrib);
+            }
+            outs.push_back(pts[i].p);
+        }
+        return finishRun(cfg, outs);
       }
     }
     return 1;

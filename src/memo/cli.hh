@@ -13,6 +13,8 @@
  *   memo --mode copy     --path d2c --method dsa --batch 16
  *   memo --mode loaded   --target cxl --threads 12
  *   memo --mode report   --target cxl --op load --threads 1-32
+ *   memo --mode drill    --threads 8
+ *   memo --mode drill    --chaos-spec link-down-at-ns=50000,crc-burst=8
  *
  * The parser is a standalone, testable component; `memoCliMain` is
  * the actual entry point used by the `memo` binary.
@@ -43,6 +45,7 @@ enum class CliMode
     Copy,    //!< data-movement (memcpy/movdir64B/DSA)
     Loaded,  //!< loaded latency
     Report,  //!< bandwidth sweep + per-point attribution breakdown
+    Drill,   //!< deterministic failure-lifecycle drill
     Help,
 };
 
@@ -65,6 +68,10 @@ struct CliConfig
     FaultSpec faults;
     /** Overload control (`--qos-spec`); disabled by default. */
     QosSpec qos;
+    /** Failure-lifecycle schedule (`--chaos-spec`); disabled by
+     *  default. Drill mode substitutes its default script when this
+     *  is empty. */
+    ChaosSpec chaos;
     /** Watchdog snapshot interval in microseconds (`--watchdog` /
      *  `--watchdog-ns`); 0 = no watchdog. */
     double watchdogUs = 0.0;

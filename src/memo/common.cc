@@ -40,6 +40,7 @@ makeMachine(Target target, const Options &opts, bool prefetch)
     mo.prefetchEnabled = prefetch;
     mo.faults = opts.faults;
     mo.qos = opts.qos;
+    mo.chaos = opts.chaos;
     mo.obs = opts.obs;
     mo.simThreads = opts.simThreads;
     if (opts.watchdogUs > 0.0)

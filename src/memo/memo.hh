@@ -58,6 +58,10 @@ struct Options
      *  CXL path (default: none, bit-identical when disabled). */
     QosSpec qos;
 
+    /** Failure-lifecycle schedule for the CXL path (default: none,
+     *  bit-identical when disabled). */
+    ChaosSpec chaos;
+
     /** Forward-progress watchdog snapshot interval in microseconds;
      *  0 (the default) builds no watchdog. */
     double watchdogUs = 0.0;
@@ -182,6 +186,43 @@ struct OverloadResult
  */
 OverloadResult runOverloadPoint(std::uint32_t threads,
                                 const Options &opts = {});
+
+/* ---------------------------- chaos drill ------------------------ */
+
+/** Outcome of one failure drill (memo drill / bench_chaos). */
+struct DrillResult
+{
+    /* throughput across the lifecycle */
+    double healthyGBps = 0.0;   //!< before the first failure
+    double degradedGBps = 0.0;  //!< link down + degraded-width window
+    double recoveredGBps = 0.0; //!< after re-add, full width restored
+
+    /* time-to-detect / time-to-repair (ns; 0 = event never happened) */
+    double linkDetectNs = 0.0; //!< outage begin -> first blocked msg
+    double linkMttrNs = 0.0;   //!< outage begin -> back at full width
+    double removeDetectNs = 0.0; //!< removal -> first aborted request
+    double removeMttrNs = 0.0;   //!< removal -> re-add
+
+    /* containment accounting */
+    std::uint64_t dataAtRiskBytes = 0; //!< CXL-resident bytes at removal
+    std::uint64_t evacuatedBytes = 0;  //!< moved off via DSA by the drill
+    bool invariantOk = false; //!< injected == consumed+delivered+contained
+    bool watchdogTripped = false;
+
+    RasStats ras;     //!< merged machine RAS counters
+    ChaosStats chaos; //!< merged failure-lifecycle counters
+};
+
+/**
+ * Run a deterministic failure drill against the CXL device: a load
+ * flood rides through a scripted link down/retrain, a device
+ * hot-remove/re-add and poison-driven page offlining, and the result
+ * reports degraded-mode throughput, time-to-detect, MTTR and
+ * data-at-risk. When @p opts carries no chaos schedule, the default
+ * drill script (link down at 60 us, remove at 100 us, re-add at
+ * 130 us, page offlining armed) plus a poison fault stream is used.
+ */
+DrillResult runDrill(std::uint32_t threads, const Options &opts = {});
 
 /* ------------------------- data movement ------------------------- *
  * Fig. 4: moving data between local DDR5 ("D") and CXL memory ("C").

@@ -134,6 +134,35 @@ NumaSpace::alloc(std::uint64_t bytes, const MemPolicy &policy)
     CXLMEMO_ASSERT(!policy.nodes.empty(), "policy without nodes");
     for (NodeId n : policy.nodes)
         CXLMEMO_ASSERT(n < nodes_.size(), "policy names unknown node %u", n);
+    if (policy.kind == MemPolicy::Kind::Weighted)
+        CXLMEMO_ASSERT(policy.weights.size() == policy.nodes.size(),
+                       "weighted policy needs one weight per node");
+
+    // Offline nodes (hot-removed devices) never receive new pages: the
+    // policy's node list is filtered up front, mirroring the kernel
+    // dropping an offlined node from every mempolicy nodemask.
+    std::vector<NodeId> live;
+    std::vector<std::uint32_t> liveWeights;
+    for (std::size_t i = 0; i < policy.nodes.size(); ++i) {
+        if (!nodes_[policy.nodes[i]].online)
+            continue;
+        live.push_back(policy.nodes[i]);
+        if (policy.kind == MemPolicy::Kind::Weighted)
+            liveWeights.push_back(policy.weights[i]);
+    }
+    if (live.empty()) {
+        // Every policy node is offline: redirect to the first online
+        // node in the space (DRAM registers first on every machine).
+        for (NodeId n = 0; n < nodes_.size(); ++n) {
+            if (nodes_[n].online) {
+                live.push_back(n);
+                liveWeights.push_back(1);
+                break;
+            }
+        }
+        if (live.empty())
+            CXLMEMO_FATAL("allocation with every NUMA node offline");
+    }
 
     const std::uint64_t pages = (bytes + pageBytes - 1) / pageBytes;
     NumaBuffer buf;
@@ -142,7 +171,7 @@ NumaSpace::alloc(std::uint64_t bytes, const MemPolicy &policy)
 
     switch (policy.kind) {
       case MemPolicy::Kind::Membind: {
-        const NodeId n = policy.nodes.front();
+        const NodeId n = live.front();
         for (std::uint64_t p = 0; p < pages; ++p)
             buf.pagePaddr_.push_back(takePage(n));
         break;
@@ -150,39 +179,37 @@ NumaSpace::alloc(std::uint64_t bytes, const MemPolicy &policy)
       case MemPolicy::Kind::Preferred: {
         std::size_t which = 0;
         for (std::uint64_t p = 0; p < pages; ++p) {
-            while (which < policy.nodes.size()
-                   && nodes_[policy.nodes[which]].freeBytes() < pageBytes) {
+            while (which < live.size()
+                   && nodes_[live[which]].freeBytes() < pageBytes) {
                 ++which;
             }
-            if (which == policy.nodes.size())
+            if (which == live.size())
                 CXLMEMO_FATAL("preferred policy exhausted all nodes");
-            buf.pagePaddr_.push_back(takePage(policy.nodes[which]));
+            buf.pagePaddr_.push_back(takePage(live[which]));
         }
         break;
       }
       case MemPolicy::Kind::Interleave: {
         for (std::uint64_t p = 0; p < pages; ++p) {
-            const NodeId n = policy.nodes[p % policy.nodes.size()];
+            const NodeId n = live[p % live.size()];
             buf.pagePaddr_.push_back(takePage(n));
         }
         break;
       }
       case MemPolicy::Kind::Weighted: {
-        CXLMEMO_ASSERT(policy.weights.size() == policy.nodes.size(),
-                       "weighted policy needs one weight per node");
         const std::uint64_t cycle = std::accumulate(
-            policy.weights.begin(), policy.weights.end(), std::uint64_t(0));
+            liveWeights.begin(), liveWeights.end(), std::uint64_t(0));
         CXLMEMO_ASSERT(cycle > 0, "weighted policy with all-zero weights");
         for (std::uint64_t p = 0; p < pages; ++p) {
             // Position within the repeating N:M cycle decides the node.
             std::uint64_t pos = p % cycle;
-            NodeId n = policy.nodes.back();
-            for (std::size_t i = 0; i < policy.nodes.size(); ++i) {
-                if (pos < policy.weights[i]) {
-                    n = policy.nodes[i];
+            NodeId n = live.back();
+            for (std::size_t i = 0; i < live.size(); ++i) {
+                if (pos < liveWeights[i]) {
+                    n = live[i];
                     break;
                 }
-                pos -= policy.weights[i];
+                pos -= liveWeights[i];
             }
             buf.pagePaddr_.push_back(takePage(n));
         }

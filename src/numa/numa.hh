@@ -112,6 +112,11 @@ struct NumaNode
     std::uint64_t allocatedBytes = 0;
     bool hasCpu = true; //!< false for the CXL Type-3 expander
 
+    /** False while the backing device is hot-removed; allocation
+     *  policies skip offline nodes and membind redirects to the first
+     *  online node, mirroring the kernel's memory-hotplug offlining. */
+    bool online = true;
+
     /**
      * Scatter physical frames pseudo-randomly (the steady state of a
      * real OS buddy allocator) instead of handing out contiguous
@@ -164,6 +169,21 @@ class NumaBuffer
     /** Fraction of pages resident on @p node. */
     double residencyOn(NodeId node) const;
 
+    static constexpr std::uint64_t npos = ~std::uint64_t(0);
+
+    /** Inverse translation: the page index whose frame holds physical
+     *  address @p paddr, or npos when it is not part of this buffer.
+     *  Linear in the page count; used only on rare failure events. */
+    std::uint64_t
+    pageOf(Addr paddr) const
+    {
+        const Addr frame = paddr & ~static_cast<Addr>(pageBytes - 1);
+        for (std::size_t p = 0; p < pagePaddr_.size(); ++p)
+            if (pagePaddr_[p] == frame)
+                return p;
+        return npos;
+    }
+
   private:
     friend class NumaSpace;
     std::uint64_t size_ = 0;
@@ -214,6 +234,23 @@ class NumaSpace
     {
         return nodes_.at(node).allocatedBytes;
     }
+
+    /**
+     * Mark a node offline (hot-remove) or back online (re-add). A
+     * re-added device comes back *empty*: its allocation counter is
+     * reset, so new buffers reuse the capacity but nothing previously
+     * resident survives.
+     */
+    void
+    setNodeOnline(NodeId node, bool online)
+    {
+        NumaNode &n = nodes_.at(node);
+        if (online && !n.online)
+            n.allocatedBytes = 0; // capacity restored empty
+        n.online = online;
+    }
+
+    bool nodeOnline(NodeId node) const { return nodes_.at(node).online; }
 
     /** Toggle frame scattering (see NumaNode::scatterFrames). */
     void

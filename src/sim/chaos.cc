@@ -1,0 +1,214 @@
+/**
+ * @file
+ * ChaosSpec parsing/validation and ChaosStats merge/summary.
+ */
+
+#include "sim/chaos.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cxlmemo
+{
+
+namespace
+{
+
+bool
+parseF(const std::string &v, double &out)
+{
+    if (v.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(v.c_str(), &end);
+    return end == v.c_str() + v.size();
+}
+
+bool
+parseU(const std::string &v, std::uint64_t &out)
+{
+    if (v.empty() || v[0] == '-')
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(v.c_str(), &end, 10);
+    return end == v.c_str() + v.size();
+}
+
+} // namespace
+
+const char *
+containPolicyName(ContainPolicy p)
+{
+    switch (p) {
+    case ContainPolicy::Poison:
+        return "poison";
+    case ContainPolicy::Abort:
+        return "abort";
+    }
+    return "?";
+}
+
+void
+ChaosSpec::validate() const
+{
+    if (!(retrainNs > 0.0))
+        throw std::invalid_argument(
+            "ChaosSpec: retrain-ns must be positive");
+    if (!(stepUpNs > 0.0))
+        throw std::invalid_argument(
+            "ChaosSpec: step-up-ns must be positive");
+    if (!(abortNs > 0.0))
+        throw std::invalid_argument(
+            "ChaosSpec: abort-ns must be positive");
+    if (readdAtNs > 0 && removeAtNs == 0)
+        throw std::invalid_argument(
+            "ChaosSpec: readd-at-ns needs remove-at-ns");
+    if (readdAtNs > 0 && readdAtNs <= removeAtNs)
+        throw std::invalid_argument(
+            "ChaosSpec: readd-at-ns must be after remove-at-ns");
+    if (maxOfflinePages == 0 || maxOfflinePages > 4096)
+        throw std::invalid_argument(
+            "ChaosSpec: max-offline-pages must be in [1,4096]");
+}
+
+std::string
+ChaosSpec::toString() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "link-down-at-ns=%llu,retrain-ns=%g,step-up-ns=%g,"
+                  "crc-burst=%u,remove-at-ns=%llu,readd-at-ns=%llu,"
+                  "contain=%s,offline-threshold=%u",
+                  static_cast<unsigned long long>(linkDownAtNs),
+                  retrainNs, stepUpNs, crcBurstTrigger,
+                  static_cast<unsigned long long>(removeAtNs),
+                  static_cast<unsigned long long>(readdAtNs),
+                  containPolicyName(contain), offlineThreshold);
+    return buf;
+}
+
+std::optional<ChaosSpec>
+ChaosSpec::parse(const std::string &text, std::string &error)
+{
+    ChaosSpec spec;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string item = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos) {
+            error = "chaos-spec item needs key=value: " + item;
+            return std::nullopt;
+        }
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        double f = 0.0;
+        std::uint64_t n = 0;
+        if (key == "link-down-at-ns" && parseU(value, n)) {
+            spec.linkDownAtNs = n;
+        } else if (key == "retrain-ns" && parseF(value, f)) {
+            spec.retrainNs = f;
+        } else if (key == "step-up-ns" && parseF(value, f)) {
+            spec.stepUpNs = f;
+        } else if (key == "crc-burst" && parseU(value, n)) {
+            spec.crcBurstTrigger = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(n, 0xffffffffu));
+        } else if (key == "remove-at-ns" && parseU(value, n)) {
+            spec.removeAtNs = n;
+        } else if (key == "readd-at-ns" && parseU(value, n)) {
+            spec.readdAtNs = n;
+        } else if (key == "contain") {
+            if (value == "poison") {
+                spec.contain = ContainPolicy::Poison;
+            } else if (value == "abort") {
+                spec.contain = ContainPolicy::Abort;
+            } else {
+                error = "bad contain policy (poison|abort): " + value;
+                return std::nullopt;
+            }
+        } else if (key == "abort-ns" && parseF(value, f)) {
+            spec.abortNs = f;
+        } else if (key == "offline-threshold" && parseU(value, n)) {
+            spec.offlineThreshold = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(n, 0xffffffffu));
+        } else if (key == "max-offline-pages" && parseU(value, n)) {
+            spec.maxOfflinePages = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(n, 0xffffffffu));
+        } else if (key == "seed" && parseU(value, n)) {
+            spec.seed = n;
+        } else {
+            error = "bad chaos-spec item: " + item;
+            return std::nullopt;
+        }
+    }
+    try {
+        spec.validate();
+    } catch (const std::invalid_argument &e) {
+        error = e.what();
+        return std::nullopt;
+    }
+    return spec;
+}
+
+void
+ChaosStats::merge(const ChaosStats &o)
+{
+    linkDowns += o.linkDowns;
+    retrains += o.retrains;
+    widthStepUps += o.widthStepUps;
+    blockedMsgs += o.blockedMsgs;
+    removals += o.removals;
+    readds += o.readds;
+    abortedReads += o.abortedReads;
+    abortedWrites += o.abortedWrites;
+    abortedBytes += o.abortedBytes;
+    poisonEvents += o.poisonEvents;
+    pagesOfflined += o.pagesOfflined;
+    offlinedBytes += o.offlinedBytes;
+    migratedBytes += o.migratedBytes;
+    dataAtRiskBytes += o.dataAtRiskBytes;
+    // Timestamps: each side owns its own (device: link/removal, host:
+    // ledger), so a nonzero value wins; concurrent nonzeros take max.
+    linkDownAt = std::max(linkDownAt, o.linkDownAt);
+    linkDetectAt = std::max(linkDetectAt, o.linkDetectAt);
+    linkUpAt = std::max(linkUpAt, o.linkUpAt);
+    linkFullWidthAt = std::max(linkFullWidthAt, o.linkFullWidthAt);
+    removeAt = std::max(removeAt, o.removeAt);
+    removeDetectAt = std::max(removeDetectAt, o.removeDetectAt);
+    readdAt = std::max(readdAt, o.readdAt);
+}
+
+std::string
+ChaosStats::summary() const
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "link-downs=%llu retrains=%llu step-ups=%llu blocked=%llu "
+        "removals=%llu readds=%llu aborted=%llu/%llu "
+        "aborted-bytes=%llu pages-offlined=%llu offlined-bytes=%llu "
+        "migrated-bytes=%llu data-at-risk=%llu",
+        static_cast<unsigned long long>(linkDowns),
+        static_cast<unsigned long long>(retrains),
+        static_cast<unsigned long long>(widthStepUps),
+        static_cast<unsigned long long>(blockedMsgs),
+        static_cast<unsigned long long>(removals),
+        static_cast<unsigned long long>(readds),
+        static_cast<unsigned long long>(abortedReads),
+        static_cast<unsigned long long>(abortedWrites),
+        static_cast<unsigned long long>(abortedBytes),
+        static_cast<unsigned long long>(pagesOfflined),
+        static_cast<unsigned long long>(offlinedBytes),
+        static_cast<unsigned long long>(migratedBytes),
+        static_cast<unsigned long long>(dataAtRiskBytes));
+    return buf;
+}
+
+} // namespace cxlmemo

@@ -67,6 +67,9 @@ FaultSpec::validate() const
     if (backoffBase == 0)
         throw std::invalid_argument(
             "FaultSpec: backoff-ns must be positive");
+    if (degradeWindow == 0)
+        throw std::invalid_argument(
+            "FaultSpec: degrade-window-ns must be positive");
     // Legal but almost certainly not what the user wants: past ~10%
     // per-event rates, recovery (replays, retries, stalls) dominates
     // run time and the run measures the recovery machinery, not the
@@ -136,6 +139,9 @@ FaultSpec::parse(const std::string &text, std::string &error)
             spec.maxHostRetries = static_cast<std::uint32_t>(num);
         } else if (key == "degrade" && parseU64(value, num)) {
             spec.degradeBurst = static_cast<std::uint32_t>(num);
+        } else if (key == "degrade-window-ns" && parseRate(value, rate)
+                   && rate > 0.0) {
+            spec.degradeWindow = ticksFromNs(rate);
         } else if (key == "seed" && parseU64(value, num)) {
             spec.seed = num;
         } else {
@@ -168,6 +174,7 @@ RasStats::merge(const RasStats &o)
     poisonInjected += o.poisonInjected;
     poisonConsumed += o.poisonConsumed;
     poisonDelivered += o.poisonDelivered;
+    poisonContained += o.poisonContained;
     linkDegradations += o.linkDegradations;
 }
 
@@ -180,7 +187,7 @@ RasStats::summary() const
         "crc-errors=%llu link-retries=%llu replay-bytes=%llu "
         "timeouts=%llu host-retries=%llu drain-stalls=%llu "
         "dram-stalls=%llu poison-injected=%llu poison-consumed=%llu "
-        "poison-delivered=%llu degradations=%llu",
+        "poison-delivered=%llu poison-contained=%llu degradations=%llu",
         static_cast<unsigned long long>(crcErrors),
         static_cast<unsigned long long>(linkRetries),
         static_cast<unsigned long long>(replayBytes),
@@ -191,6 +198,7 @@ RasStats::summary() const
         static_cast<unsigned long long>(poisonInjected),
         static_cast<unsigned long long>(poisonConsumed),
         static_cast<unsigned long long>(poisonDelivered),
+        static_cast<unsigned long long>(poisonContained),
         static_cast<unsigned long long>(linkDegradations));
     return buf;
 }

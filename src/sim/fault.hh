@@ -19,7 +19,9 @@
  * RasStats aggregates every recovery action machine-wide; nothing is
  * ever silently consumed -- an injected poison either shows up as
  * poisonConsumed (absorbed by the cache hierarchy and observed by a
- * load) or poisonDelivered (handed to a non-caching consumer).
+ * load), poisonDelivered (handed to a non-caching consumer), or
+ * poisonContained (the chaos layer aborted the request before any
+ * consumer saw data).
  */
 
 #ifndef CXLMEMO_SIM_FAULT_HH
@@ -56,6 +58,9 @@ namespace cxlmemo
  *   retries=N       max host retries per request (1..16)
  *   degrade=N       CRC errors before the link downgrades width
  *                   (halving rawGBps, at most twice); 0 = never
+ *   degrade-window-ns=NS
+ *                   burst window: at most one downgrade per window,
+ *                   and the burst counter re-arms at window expiry
  *   seed=N          fault RNG stream seed
  */
 struct FaultSpec
@@ -76,6 +81,12 @@ struct FaultSpec
     /** CRC errors that trigger one link width/speed downgrade
      *  (halving rawGBps, at most twice); 0 disables degradation. */
     std::uint32_t degradeBurst = 0;
+
+    /** Burst observation window (`degrade-window-ns`): at most one
+     *  downgrade fires per window, and the error counter re-arms when
+     *  the window expires -- two closely-spaced bursts cannot
+     *  double-downgrade the link inside one window. */
+    Tick degradeWindow = ticksFromNs(1000.0);
 
     std::uint64_t seed = 0x0badc0de5eedULL; //!< dedicated RNG stream
 
@@ -126,6 +137,8 @@ struct RasStats
     std::uint64_t poisonInjected = 0;  //!< poisoned lines created
     std::uint64_t poisonConsumed = 0;  //!< observed via the cache hierarchy
     std::uint64_t poisonDelivered = 0; //!< handed to a non-caching consumer
+    std::uint64_t poisonContained = 0; //!< aborted before any consumer
+                                       //!< saw data (chaos containment)
 
     /* graceful degradation */
     std::uint64_t linkDegradations = 0; //!< width/speed downgrade events

@@ -92,6 +92,18 @@ Watchdog::snapshot()
 }
 
 void
+Watchdog::noteEvent(Tick at, const std::string &text)
+{
+    if (events_.size() >= maxEvents) {
+        events_.erase(events_.begin());
+        ++eventsDropped_;
+    }
+    char head[48];
+    std::snprintf(head, sizeof(head), "t=%.1f ns: ", nsFromTicks(at));
+    events_.push_back(head + text);
+}
+
+void
 Watchdog::trip(const std::string &why)
 {
     tripped_ = true;
@@ -103,6 +115,14 @@ Watchdog::trip(const std::string &why)
            << s->progressRetired() << ", outstanding "
            << s->progressOutstanding() << "\n"
            << s->progressDiagnosis();
+    }
+    if (!events_.empty()) {
+        os << "  lifecycle events";
+        if (eventsDropped_ > 0)
+            os << " (" << eventsDropped_ << " older dropped)";
+        os << ":\n";
+        for (const std::string &e : events_)
+            os << "    " << e << "\n";
     }
     for (const auto &dump : postMortems_)
         os << dump();

@@ -114,6 +114,17 @@ class Watchdog
     }
 
     /**
+     * Record a lifecycle event (link down/retrain, device hot-plug,
+     * page offline). Kept in a bounded ring and appended to every
+     * trip report, so a post-mortem shows what the failure layer did
+     * right before the hang.
+     */
+    void noteEvent(Tick at, const std::string &text);
+
+    /** Recorded lifecycle events, oldest first (bounded). */
+    const std::vector<std::string> &events() const { return events_; }
+
+    /**
      * Schedule the next snapshot if none is pending. Call after
      * construction and again whenever new work is started after the
      * event queue quiesced (the watchdog stands down at quiesce so
@@ -164,6 +175,10 @@ class Watchdog
     std::uint32_t strikes_ = 0;
     std::uint64_t snapshots_ = 0;
     std::string report_;
+
+    static constexpr std::size_t maxEvents = 64;
+    std::vector<std::string> events_;
+    std::uint64_t eventsDropped_ = 0;
 };
 
 } // namespace cxlmemo

@@ -1,6 +1,7 @@
 #include "system/machine.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -318,8 +319,11 @@ Machine::Machine(Testbed testbed, MachineOptions opts) : testbed_(testbed)
     // The fault model covers the CXL path only (the paper's device
     // under test); local/remote DDR5 stays healthy. No injector is
     // created when every rate is zero, so the disabled configuration
-    // is byte-identical to a machine without the RAS layer.
-    if (opts.faults.enabled())
+    // is byte-identical to a machine without the RAS layer. A chaos
+    // schedule needs the injector's poison hand-off protocol even at
+    // all-zero rates (containment accounting rides it); a zero-rate
+    // injector never draws from its RNG, so it stays deterministic.
+    if (opts.faults.enabled() || opts.chaos.enabled())
         faults_ = std::make_unique<FaultInjector>(opts.faults);
 
     const bool par = opts.simThreads > 0;
@@ -494,6 +498,75 @@ Machine::Machine(Testbed testbed, MachineOptions opts) : testbed_(testbed)
         watchdog_->arm();
     }
 
+    // Failure lifecycle. The device owns the link/removal FSMs (they
+    // run on its own domain queue, so the schedule is identical at
+    // every thread count); the host owns the page ledger and the NUMA
+    // offline/online reaction, which it schedules at the same absolute
+    // ticks as the device-side transitions.
+    if (opts.chaos.enabled() && cxl_) {
+        chaosSpec_ = opts.chaos;
+        cxl_->armChaos(opts.chaos);
+        if (watchdog_) {
+            if (par) {
+                // Announcements originate in the device domain; relay
+                // them to the host like any other cross-domain event.
+                cxl_->setChaosAnnounce(
+                    [this](Tick at, const std::string &text) {
+                        exec_->post(cxlRank_, 0, at + lookahead_,
+                                    [this, at, text](Tick) {
+                                        watchdog_->noteEvent(at, text);
+                                    });
+                    });
+            } else {
+                cxl_->setChaosAnnounce(
+                    [this](Tick at, const std::string &text) {
+                        watchdog_->noteEvent(at, text);
+                    });
+            }
+        }
+        if (opts.chaos.removeAtNs > 0) {
+            const Tick off = ticksFromNs(
+                static_cast<double>(opts.chaos.removeAtNs));
+            eq_.schedule(off + (par ? lookahead_ : 0), [this] {
+                numa_.setNodeOnline(cxlNode_, false);
+                if (cxlHotplugHook_)
+                    cxlHotplugHook_(eq_.curTick(), false);
+            });
+        }
+        if (opts.chaos.readdAtNs > 0) {
+            const Tick on = ticksFromNs(
+                static_cast<double>(opts.chaos.readdAtNs));
+            eq_.schedule(on + (par ? lookahead_ : 0), [this] {
+                numa_.setNodeOnline(cxlNode_, true);
+                if (cxlHotplugHook_)
+                    cxlHotplugHook_(eq_.curTick(), true);
+            });
+        }
+        if (opts.chaos.offlineThreshold > 0) {
+            failureHandler_ = std::make_unique<MemoryFailureHandler>(
+                opts.chaos.offlineThreshold, opts.chaos.maxOfflinePages);
+            // The ledger tracks the device under test only; healthy
+            // DDR5 poison (never injected today) would stay on the
+            // kernel's classic hard-offline path.
+            caches_->setPoisonSink([this](Addr paddr, Tick t) {
+                if (nodeOfPaddr(paddr) == cxlNode_)
+                    failureHandler_->notePoison(paddr, t);
+            });
+            if (watchdog_) {
+                failureHandler_->addOfflineHook(
+                    [this](Addr page, Tick at) -> std::uint64_t {
+                        char buf[64];
+                        std::snprintf(buf, sizeof(buf),
+                                      "page 0x%llx offlined",
+                                      static_cast<unsigned long long>(
+                                          page));
+                        watchdog_->noteEvent(at, buf);
+                        return 0;
+                    });
+            }
+        }
+    }
+
     // Flight recorder. Everything below is opt-in: the default
     // ObservabilityOptions builds none of it, cores see a null tracer
     // and the devices' histogram pointers stay null, so the disabled
@@ -617,6 +690,17 @@ Machine::rasStats() const
     return &rasMerged_;
 }
 
+ChaosStats
+Machine::chaosStats() const
+{
+    ChaosStats s;
+    if (cxl_)
+        s = cxl_->chaosStats();
+    if (failureHandler_)
+        s.merge(failureHandler_->stats());
+    return s;
+}
+
 AttribSnapshot
 Machine::attribSnapshot() const
 {
@@ -716,6 +800,22 @@ Machine::registerMetrics()
                      [this] { return rasStats()->timeouts; });
         m.addCounter("ras.host_retries",
                      [this] { return rasStats()->hostRetries; });
+    }
+    if (chaosSpec_.enabled() && cxl_) {
+        m.addCounter("chaos.link_downs",
+                     [this] { return chaosStats().linkDowns; });
+        m.addCounter("chaos.retrains",
+                     [this] { return chaosStats().retrains; });
+        m.addCounter("chaos.blocked_msgs",
+                     [this] { return chaosStats().blockedMsgs; });
+        m.addCounter("chaos.removals",
+                     [this] { return chaosStats().removals; });
+        m.addCounter("chaos.aborted_reads",
+                     [this] { return chaosStats().abortedReads; });
+        m.addCounter("chaos.pages_offlined",
+                     [this] { return chaosStats().pagesOfflined; });
+        m.addCounter("chaos.offlined_bytes",
+                     [this] { return chaosStats().offlinedBytes; });
     }
     // Event/callback allocation rate of the simulator itself (the
     // slab allocator in sim/pool.hh). Machine-relative baseline: the
@@ -882,6 +982,8 @@ Machine::statsString() const
     }
     if (faults_)
         os << "  ras: " << rasStats()->summary() << "\n";
+    if (chaosSpec_.enabled() && cxl_)
+        os << "  chaos: " << chaosStats().summary() << "\n";
     if (exec_) {
         os << "  engine: domains " << exec_->numDomains()
            << ", windows " << exec_->windows() << ", cross-posts "

@@ -22,8 +22,10 @@
 #include "mem/dram.hh"
 #include "numa/numa.hh"
 #include "sim/attribution.hh"
+#include "sim/chaos.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
+#include "sim/lifecycle.hh"
 #include "sim/metrics.hh"
 #include "sim/observability.hh"
 #include "sim/parallel.hh"
@@ -67,6 +69,12 @@ struct MachineOptions
      *  healthy machine with no injector at all, guaranteeing
      *  bit-identical behaviour to a build without the RAS layer. */
     FaultSpec faults;
+
+    /** Failure-lifecycle schedule on the CXL path: scripted link
+     *  down/retrain, device hot-remove/re-add and poison-driven page
+     *  offlining (sim/chaos.hh). The default (disabled) spec arms
+     *  nothing and is bit-identical to a machine without the layer. */
+    ChaosSpec chaos;
 
     /** Overload-control model on the CXL path: M2S credit pools,
      *  DevLoad telemetry and the host throttle. The default
@@ -168,6 +176,32 @@ class Machine
     /** Host throttle (nullptr unless a reaction policy is active). */
     HostThrottle *hostThrottle() { return throttle_.get(); }
 
+    /** The chaos schedule this machine was built with. */
+    const ChaosSpec &chaosSpec() const { return chaosSpec_; }
+
+    /** Per-page memory-failure handler (nullptr unless the chaos spec
+     *  enables page offlining). */
+    MemoryFailureHandler *failureHandler() { return failureHandler_.get(); }
+
+    /**
+     * Failure-lifecycle counters: the device's link/removal FSM state
+     * merged with the host page ledger. Read only at a quiesced point
+     * (after run()/runUntil()) when the parallel engine is active.
+     */
+    ChaosStats chaosStats() const;
+
+    /**
+     * Host-side reaction hook fired when the CXL node is marked
+     * offline (online = false) or back online (online = true) by a
+     * scheduled hot-remove/re-add. Runs on the host domain; the drill
+     * harness uses it to evacuate tiered data off the dying device.
+     */
+    void
+    setCxlHotplugHook(std::function<void(Tick, bool)> hook)
+    {
+        cxlHotplugHook_ = std::move(hook);
+    }
+
     /** Forward-progress watchdog (nullptr when disabled). */
     Watchdog *watchdog() { return watchdog_.get(); }
 
@@ -254,6 +288,9 @@ class Machine
     std::unique_ptr<CacheHierarchy> caches_;
     std::unique_ptr<Dsa> dsa_;
     QosSpec qosSpec_;
+    ChaosSpec chaosSpec_;
+    std::unique_ptr<MemoryFailureHandler> failureHandler_;
+    std::function<void(Tick, bool)> cxlHotplugHook_;
     std::unique_ptr<HostThrottle> throttle_;
     std::unique_ptr<Watchdog> watchdog_;
     std::unique_ptr<RequestTracer> tracer_;

@@ -213,6 +213,75 @@ TEST(MemoCli, FaultSpecRejectsBadGrammar)
     EXPECT_NE(cliUsage().find("--fault-spec"), std::string::npos);
 }
 
+TEST(MemoCli, ChaosSpecFlagParses)
+{
+    auto cfg = parse({"--mode", "drill", "--chaos-spec",
+                      "link-down-at-ns=50000,remove-at-ns=80000,"
+                      "readd-at-ns=90000,contain=abort,crc-burst=8"});
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->mode, CliMode::Drill);
+    EXPECT_TRUE(cfg->chaos.enabled());
+    EXPECT_EQ(cfg->chaos.linkDownAtNs, 50000u);
+    EXPECT_EQ(cfg->chaos.removeAtNs, 80000u);
+    EXPECT_EQ(cfg->chaos.readdAtNs, 90000u);
+    EXPECT_EQ(cfg->chaos.contain, ContainPolicy::Abort);
+    EXPECT_EQ(cfg->chaos.crcBurstTrigger, 8u);
+    EXPECT_NE(cliUsage().find("--chaos-spec"), std::string::npos);
+    EXPECT_NE(cliUsage().find("drill"), std::string::npos);
+}
+
+TEST(MemoCli, ChaosSpecDefaultsDisabled)
+{
+    auto cfg = parse({"--mode", "drill"});
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_FALSE(cfg->chaos.enabled());
+}
+
+TEST(MemoCli, ChaosSpecRejectsBadGrammar)
+{
+    EXPECT_FALSE(parse({"--chaos-spec", "link-down-at-ns"}).has_value());
+    EXPECT_FALSE(parse({"--chaos-spec", "unknown=1"}).has_value());
+    EXPECT_FALSE(parse({"--chaos-spec", "contain=maybe"}).has_value());
+    EXPECT_FALSE(parse({"--chaos-spec", "readd-at-ns=5"}).has_value());
+    EXPECT_FALSE(parse({"--chaos-spec"}).has_value()); // missing value
+}
+
+TEST(MemoCli, EmptySpecValuesAreRejected)
+{
+    // An empty (or whitespace-only) spec value means the shell ate
+    // the real one; silently running fault-free would be worse than
+    // an error. All three spec flags must reject it with a one-line
+    // diagnostic naming the flag.
+    for (const char *flag : {"--fault-spec", "--qos-spec",
+                             "--chaos-spec"}) {
+        for (const char *value : {"", " ", "  \t "}) {
+            std::vector<std::string> v{"--mode", "seq", flag, value};
+            std::string err;
+            EXPECT_FALSE(parseCli(v, err).has_value())
+                << flag << " value '" << value << "'";
+            EXPECT_NE(err.find("empty"), std::string::npos) << flag;
+            EXPECT_NE(err.find(std::string(flag).substr(2)),
+                      std::string::npos)
+                << flag;
+        }
+    }
+}
+
+TEST(MemoCli, DrillCsvHeaderCarriesLifecycleColumns)
+{
+    // Drill rows always carry the extra groups (the drill arms a
+    // poison stream internally), so the header is the superset.
+    const std::string h = csvHeader(CliMode::Drill, true, false, false);
+    for (const char *col :
+         {"healthy_gbps", "degraded_gbps", "recovered_gbps",
+          "link_detect_ns", "link_mttr_ns", "remove_detect_ns",
+          "remove_mttr_ns", "data_at_risk_bytes", "evacuated_bytes",
+          "pages_offlined", "offlined_bytes", "migrated_bytes",
+          "aborted_reads", "aborted_writes", "invariant_ok",
+          "poison_contained"})
+        EXPECT_NE(h.find(col), std::string::npos) << col;
+}
+
 TEST(MemoCli, HelpShortCircuits)
 {
     auto cfg = parse({"--help"});
@@ -346,12 +415,12 @@ TEST(MemoCli, CsvHeaderColumnSetStableAcrossGroups)
         EXPECT_EQ(csvHeader(mode, true, false, false), all);
         EXPECT_EQ(csvHeader(mode, false, true, false), all);
         EXPECT_EQ(csvHeader(mode, false, false, true), all);
-        // Exactly one header row's worth of extra columns: 10 RAS +
+        // Exactly one header row's worth of extra columns: 11 RAS +
         // 6 QoS + 5 histogram. Loaded additionally swaps its single
         // "ns" column for the avg/p50/p99 distribution (+2).
         const std::string base = csvHeader(mode, false, false, false);
         const std::size_t swap = mode == CliMode::Loaded ? 2 : 0;
-        EXPECT_EQ(columns(all), columns(base) + 21 + swap);
+        EXPECT_EQ(columns(all), columns(base) + 22 + swap);
         // Histogram columns ride at the end.
         EXPECT_NE(all.find(",lat_n,lat_avg_ns,lat_p50_ns,lat_p99_ns,"
                            "lat_max_ns"),

@@ -461,6 +461,89 @@ TEST(MachineParallel, MetricsConservationAtEightSimThreads)
     EXPECT_EQ(delta.at("sim.clamped_posts"), 0u);
 }
 
+TEST(MachineParallel, ChaosScheduleIsThreadCountInvariant)
+{
+    // The full failure lifecycle -- link down/retrain/step-up, device
+    // hot-remove/re-add and poison-driven page offlining -- must be
+    // byte-identical at every parallel thread count: all chaos events
+    // fire on the device's own domain queue, and host-side reactions
+    // are scheduled at statically-known ticks.
+    memo::Options base = parOpts(1);
+    base.chaos.linkDownAtNs = 25000;
+    base.chaos.removeAtNs = 45000;
+    base.chaos.readdAtNs = 55000;
+    base.chaos.offlineThreshold = 2;
+    base.faults.readPoisonRate = 0.01;
+    base.faults.seed = 5;
+
+    PointDump ref;
+    for (std::uint32_t st : {1u, 2u, 8u}) {
+        memo::Options o = base;
+        o.simThreads = st;
+        PointDump d;
+        o.onMachineDone = [&d](Machine &m) {
+            // statsString includes the chaos summary line, so the
+            // comparison covers every lifecycle counter.
+            d.stats = m.statsString();
+        };
+        d.gbps = memo::runSeqBandwidth(memo::Target::Cxl,
+                                       MemOp::Kind::Load, 4, o);
+        ASSERT_NE(d.stats.find("chaos:"), std::string::npos);
+        if (st == 1) {
+            ref = d;
+            // The schedule must actually have fired -- invariance of
+            // a no-op run would be vacuous.
+            EXPECT_NE(d.stats.find("link-downs=1"), std::string::npos);
+            EXPECT_NE(d.stats.find("removals=1"), std::string::npos);
+            continue;
+        }
+        EXPECT_EQ(d.stats, ref.stats) << st << " sim-threads";
+        EXPECT_EQ(d.gbps, ref.gbps) << st << " sim-threads";
+    }
+}
+
+TEST(MachineParallel, ChaosEventsCrossToWatchdogAtFences)
+{
+    // Lifecycle announcements originate in the device domain and are
+    // relayed to the host-side watchdog via cross-posts; the recorded
+    // event log must be identical at every thread count, and a chaos
+    // event landing mid-run must appear in the watchdog's snapshot
+    // state without tripping it.
+    std::vector<std::string> ref;
+    for (std::uint32_t st : {1u, 2u, 8u}) {
+        memo::Options o = parOpts(st);
+        o.chaos.linkDownAtNs = 25000;
+        o.chaos.removeAtNs = 45000;
+        o.chaos.readdAtNs = 55000;
+        o.watchdogUs = 30.0; // several snapshot fences during the run
+        std::vector<std::string> events;
+        bool tripped = true;
+        o.onMachineDone = [&](Machine &m) {
+            ASSERT_NE(m.watchdog(), nullptr);
+            events = m.watchdog()->events();
+            tripped = m.watchdog()->tripped();
+        };
+        memo::runSeqBandwidth(memo::Target::Cxl, MemOp::Kind::Load, 2,
+                              o);
+        ASSERT_FALSE(events.empty()) << st << " sim-threads";
+        EXPECT_FALSE(tripped) << st << " sim-threads";
+        auto contains = [&events](const char *needle) {
+            for (const std::string &e : events)
+                if (e.find(needle) != std::string::npos)
+                    return true;
+            return false;
+        };
+        EXPECT_TRUE(contains("link DOWN")) << st;
+        EXPECT_TRUE(contains("hot-remove")) << st;
+        EXPECT_TRUE(contains("re-add")) << st;
+        if (st == 1) {
+            ref = events;
+            continue;
+        }
+        EXPECT_EQ(events, ref) << st << " sim-threads";
+    }
+}
+
 TEST(MachineParallel, TracingIsRejectedInParallelMode)
 {
     memo::Options o = parOpts(2);
