@@ -1,0 +1,201 @@
+#include "interconnect/poolmgr.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/logging.hh"
+
+namespace cxlmemo
+{
+
+PoolManager::PoolManager(std::uint32_t devices,
+                         std::uint64_t bytesPerDevice,
+                         std::uint64_t segmentBytes)
+    : numDevices_(devices), segBytes_(segmentBytes)
+{
+    if (devices == 0)
+        throw std::invalid_argument("PoolManager: no devices");
+    if (segmentBytes == 0 || bytesPerDevice == 0
+        || bytesPerDevice % segmentBytes != 0) {
+        throw std::invalid_argument(
+            "PoolManager: device capacity must be a nonzero multiple "
+            "of the segment size");
+    }
+    segsPerDevice_ =
+        static_cast<std::uint32_t>(bytesPerDevice / segmentBytes);
+    totalSegs_ = segsPerDevice_ * devices;
+    freeSegs_ = totalSegs_;
+    segs_.assign(devices, std::vector<Segment>(segsPerDevice_));
+}
+
+const std::vector<PoolManager::Loc> &
+PoolManager::windowOf(std::uint32_t host) const
+{
+    static const std::vector<Loc> empty;
+    if (host < alias_.size() && alias_[host] != noAlias)
+        host = alias_[host];
+    return host < windows_.size() ? windows_[host] : empty;
+}
+
+std::uint64_t
+PoolManager::grant(std::uint32_t host, std::uint64_t bytes)
+{
+    const std::uint64_t want = (bytes + segBytes_ - 1) / segBytes_;
+    if (want == 0 || want > freeSegs_) {
+        ++stats_.rejects;
+        return 0;
+    }
+    if (host >= windows_.size())
+        windows_.resize(host + 1);
+    // Stripe round-robin across devices from the host's home device:
+    // the scan order is a pure function of (host, pool state), so
+    // identical grant sequences produce identical windows.
+    std::uint64_t taken = 0;
+    std::uint32_t dev = host % numDevices_;
+    std::uint32_t probe = 0;
+    std::vector<std::uint32_t> cursor(numDevices_, 0);
+    while (taken < want) {
+        auto &c = cursor[dev];
+        while (c < segsPerDevice_
+               && segs_[dev][c].state != SegState::Free)
+            ++c;
+        if (c < segsPerDevice_) {
+            segs_[dev][c].state = SegState::Granted;
+            segs_[dev][c].owner = host;
+            windows_[host].push_back(
+                Loc{dev, static_cast<Addr>(c) * segBytes_});
+            ++c;
+            ++taken;
+            probe = 0;
+        } else if (++probe >= numDevices_) {
+            break; // free count said yes but states disagree
+        }
+        dev = (dev + 1) % numDevices_;
+    }
+    CXLMEMO_ASSERT(taken == want,
+                   "pool free-count/state mismatch granting %llu segs",
+                   (unsigned long long)want);
+    freeSegs_ -= static_cast<std::uint32_t>(taken);
+    ++stats_.grants;
+    stats_.grantedBytes += taken * segBytes_;
+    return taken * segBytes_;
+}
+
+std::uint64_t
+PoolManager::grantedBytes(std::uint32_t host) const
+{
+    return host < windows_.size()
+               ? windows_[host].size() * segBytes_
+               : 0;
+}
+
+bool
+PoolManager::owns(std::uint32_t host, Addr hostAddr) const
+{
+    return hostAddr / segBytes_ < windowOf(host).size();
+}
+
+PoolManager::Loc
+PoolManager::translate(std::uint32_t host, Addr hostAddr) const
+{
+    const auto &win = windowOf(host);
+    const std::uint64_t seg = hostAddr / segBytes_;
+    CXLMEMO_ASSERT(seg < win.size(),
+                   "host %u access outside its window (addr 0x%llx)",
+                   (unsigned)host, (unsigned long long)hostAddr);
+    Loc l = win[seg];
+    l.addr += hostAddr % segBytes_;
+    return l;
+}
+
+std::uint64_t
+PoolManager::quarantine(std::uint32_t host)
+{
+    if (host >= windows_.size() || windows_[host].empty())
+        return 0;
+    for (const Loc &l : windows_[host]) {
+        Segment &s = segs_[l.dev][l.addr / segBytes_];
+        CXLMEMO_ASSERT(s.state == SegState::Granted && s.owner == host,
+                       "quarantining a segment host %u does not own",
+                       (unsigned)host);
+        s.state = SegState::Quarantined;
+    }
+    const std::uint64_t bytes = windows_[host].size() * segBytes_;
+    quarSegs_ += static_cast<std::uint32_t>(windows_[host].size());
+    windows_[host].clear();
+    ++stats_.quarantines;
+    stats_.quarantinedBytes += bytes;
+    return bytes;
+}
+
+std::uint64_t
+PoolManager::releaseQuarantined()
+{
+    std::uint32_t released = 0;
+    for (auto &dev : segs_) {
+        for (Segment &s : dev) {
+            if (s.state == SegState::Quarantined) {
+                s.state = SegState::Free;
+                ++released;
+            }
+        }
+    }
+    CXLMEMO_ASSERT(released == quarSegs_,
+                   "quarantine count drifted (%u != %u)",
+                   (unsigned)released, (unsigned)quarSegs_);
+    freeSegs_ += released;
+    quarSegs_ = 0;
+    stats_.scrubbedBytes += std::uint64_t(released) * segBytes_;
+    return std::uint64_t(released) * segBytes_;
+}
+
+void
+PoolManager::setAlias(std::uint32_t host, std::uint32_t owner)
+{
+    if (host >= alias_.size())
+        alias_.resize(host + 1, noAlias);
+    alias_[host] = owner;
+}
+
+bool
+PoolManager::ledgerOk() const
+{
+    // Recount from the per-segment states rather than trusting the
+    // cached counters: the whole point is catching drift between them.
+    std::uint64_t free = 0, granted = 0, quarantined = 0;
+    for (const auto &dev : segs_) {
+        for (const Segment &s : dev) {
+            switch (s.state) {
+              case SegState::Free:
+                ++free;
+                break;
+              case SegState::Granted:
+                ++granted;
+                break;
+              case SegState::Quarantined:
+                ++quarantined;
+                break;
+            }
+        }
+    }
+    std::uint64_t windowSegs = 0;
+    for (const auto &w : windows_)
+        windowSegs += w.size();
+    return free + granted + quarantined == totalSegs_
+           && free == freeSegs_ && quarantined == quarSegs_
+           && granted == windowSegs;
+}
+
+std::string
+PoolManager::summary() const
+{
+    std::ostringstream os;
+    os << "pool: total=" << totalBytes() / miB << "MiB free="
+       << freeBytes() / miB << "MiB quarantined="
+       << quarantinedBytes() / miB << "MiB grants=" << stats_.grants
+       << " quarantines=" << stats_.quarantines
+       << " ledger=" << (ledgerOk() ? "ok" : "VIOLATED");
+    return os.str();
+}
+
+} // namespace cxlmemo

@@ -61,6 +61,8 @@ parseMode(const std::string &s)
         return CliMode::Report;
     if (s == "drill")
         return CliMode::Drill;
+    if (s == "pool")
+        return CliMode::Pool;
     if (s == "help")
         return CliMode::Help;
     return std::nullopt;
@@ -191,6 +193,12 @@ cliUsage()
         "            poison-driven page offlining under a load flood,\n"
         "            reporting degraded-mode throughput, time-to-\n"
         "            detect, MTTR and data-at-risk\n"
+        "  pool      multi-host pooled memory behind a CXL switch:\n"
+        "            per-host windows from a shared pool, crash\n"
+        "            fencing with capacity quarantine/scrub/re-grant,\n"
+        "            port outage/retrain, noisy-neighbor attribution\n"
+        "            and a machine-checked blast-radius isolation\n"
+        "            invariant (per-host CSV tiers)\n"
         "\n"
         "options:\n"
         "  --target  ddr5-l8 | ddr5-r1 | cxl         (default ddr5-l8)\n"
@@ -230,6 +238,17 @@ cliUsage()
         "                offline-threshold= max-offline-pages= seed=\n"
         "                e.g. --chaos-spec link-down-at-ns=60000,\n"
         "                remove-at-ns=100000,readd-at-ns=130000\n"
+        "  --pool-spec   key=value[,...] pooled-cluster scenario\n"
+        "                (pool mode only; machine-level specs do not\n"
+        "                apply): hosts= devices= capacity-mb=\n"
+        "                window-mb= credits= arb=rr|fixed ops=\n"
+        "                read-frac= mlp= aggressor= crash-host=\n"
+        "                crash-at-ns= fence-check-ns= miss-threshold=\n"
+        "                scrub-ns-per-mb= contain=poison|abort\n"
+        "                poison-host= poison-every= port-down-host=\n"
+        "                port-down-at-ns= retrain-ns= seed=\n"
+        "                e.g. --pool-spec hosts=4,crash-host=1,\n"
+        "                crash-at-ns=20000\n"
         "  --watchdog-ns N   watchdog snapshot interval in ns\n"
         "  --trace-out FILE  write sampled request-lifecycle spans as\n"
         "                Chrome trace-event JSON (Perfetto-loadable)\n"
@@ -285,6 +304,7 @@ parseCli(const std::vector<std::string> &rawArgs, std::string &error)
     }
 
     CliConfig cfg;
+    bool sawPoolSpec = false;
     auto need = [&](std::size_t i) -> std::optional<std::string> {
         if (i + 1 >= args.size()) {
             error = "missing value after " + args[i];
@@ -503,6 +523,23 @@ parseCli(const std::vector<std::string> &rawArgs, std::string &error)
             }
             cfg.chaos = *cs;
             ++i;
+        } else if (a == "--pool-spec") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            if (blankSpec(*v)) {
+                error = "empty pool-spec";
+                return std::nullopt;
+            }
+            std::string perr;
+            auto ps = PoolSpec::parse(*v, perr);
+            if (!ps) {
+                error = perr;
+                return std::nullopt;
+            }
+            cfg.poolSpec = *ps;
+            sawPoolSpec = true;
+            ++i;
         } else if (a == "--watchdog") {
             if (cfg.watchdogUs == 0.0)
                 cfg.watchdogUs = 100.0;
@@ -569,6 +606,18 @@ parseCli(const std::vector<std::string> &rawArgs, std::string &error)
     }
     if (cfg.mode == CliMode::Chase && cfg.wssBytes.empty()) {
         error = "chase mode requires --wss";
+        return std::nullopt;
+    }
+    // Pool mode carries every disturbance inside the pool spec: a
+    // stray machine-level spec would silently apply to nothing.
+    if (cfg.mode == CliMode::Pool
+        && (cfg.faults.enabled() || cfg.qos.enabled()
+            || cfg.chaos.enabled())) {
+        error = "pool mode takes disturbances via --pool-spec only";
+        return std::nullopt;
+    }
+    if (sawPoolSpec && cfg.mode != CliMode::Pool) {
+        error = "--pool-spec requires --mode pool";
         return std::nullopt;
     }
     return cfg;
@@ -932,6 +981,14 @@ csvHeader(CliMode mode, bool ras, bool qos, bool hist, bool attrib)
                "pages_offlined,offlined_bytes,migrated_bytes,"
                "aborted_reads,aborted_writes,invariant_ok";
         break;
+      case CliMode::Pool:
+        // Per-host tiers plus run-level fencing/isolation columns
+        // (repeated on every row so the file is self-contained). Pool
+        // mode rejects the machine-level specs, so no extra groups.
+        return "host,port,role,ops,gbps,read_avg_ns,read_p99_ns,"
+               "poisoned,aborted,fenced,granted_mb,digest,"
+               "time_to_fence_ns,quarantined_mb,recovered_mb,"
+               "ledger_ok,isolation_ok,verdict";
       case CliMode::Help:
         return "";
     }
@@ -1340,6 +1397,74 @@ runCli(const CliConfig &cfg)
             outs.push_back(pts[i].p);
         }
         return finishRun(cfg, outs);
+      }
+
+      case CliMode::Pool: {
+        const PoolResult r = runPool(cfg.poolSpec, opts, cfg.jobs);
+        const ClusterResult &c = r.cluster;
+        if (cfg.csv) {
+            csvHeaderLine();
+            for (const HostReport &h : c.hosts) {
+                std::printf(
+                    "%u,%u,%s,%llu,%.2f,%.1f,%.1f,%llu,%llu,%d,%llu,"
+                    "%016llx%016llx,%.1f,%llu,%llu,%d,%d,%s\n",
+                    h.host, h.host, h.role.c_str(),
+                    (unsigned long long)h.digest.ops, h.gbps,
+                    h.readAvgNs, h.readP99Ns,
+                    (unsigned long long)h.digest.poisoned,
+                    (unsigned long long)h.digest.aborted,
+                    h.fenced ? 1 : 0,
+                    (unsigned long long)(h.grantedBytes / miB),
+                    (unsigned long long)h.digest.valueHash,
+                    (unsigned long long)h.digest.ledgerHash,
+                    c.timeToFenceNs,
+                    (unsigned long long)(c.quarantinedBytes / miB),
+                    (unsigned long long)(c.recoveredBytes / miB),
+                    c.ledgerOk ? 1 : 0, r.isolationOk ? 1 : 0,
+                    c.verdict.c_str());
+            }
+        } else {
+            std::printf("pooled cluster: %s\n",
+                        cfg.poolSpec.toString().c_str());
+            for (const HostReport &h : c.hosts) {
+                std::printf("  host%u [%s]%s: %llu ops, %.2f GB/s, "
+                            "read avg/p99 %.1f/%.1f ns, poisoned "
+                            "%llu, aborted %llu, window %llu MiB\n",
+                            h.host, h.role.c_str(),
+                            h.fenced ? " FENCED" : "",
+                            (unsigned long long)h.digest.ops, h.gbps,
+                            h.readAvgNs, h.readP99Ns,
+                            (unsigned long long)h.digest.poisoned,
+                            (unsigned long long)h.digest.aborted,
+                            (unsigned long long)(h.grantedBytes
+                                                 / miB));
+            }
+            if (c.timeToFenceNs >= 0.0) {
+                std::printf("  fencing: dead host fenced in %.1f ns; "
+                            "%llu MiB quarantined, %llu MiB "
+                            "re-granted to survivors\n",
+                            c.timeToFenceNs,
+                            (unsigned long long)(c.quarantinedBytes
+                                                 / miB),
+                            (unsigned long long)(c.recoveredBytes
+                                                 / miB));
+            }
+            std::printf("  ledger: %s",
+                        c.ledgerOk ? "conserved" : "VIOLATED");
+            if (r.victim >= 0 && cfg.poolSpec.disturbed()) {
+                std::printf("; isolation (host%d): %s", r.victim,
+                            r.isolationOk ? "OK" : "VIOLATED");
+            }
+            std::printf("\n  verdict: %s\n", c.verdict.c_str());
+            if (c.watchdogTripped) {
+                std::printf("  watchdog tripped:\n%s\n",
+                            c.watchdogReport.c_str());
+            }
+        }
+        // Invariant violations are a failing exit: CI smoke drills
+        // rely on it the way the poison-conservation checks do.
+        return c.ledgerOk && r.isolationOk && !c.watchdogTripped ? 0
+                                                                 : 1;
       }
     }
     return 1;

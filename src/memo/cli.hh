@@ -46,6 +46,7 @@ enum class CliMode
     Loaded,  //!< loaded latency
     Report,  //!< bandwidth sweep + per-point attribution breakdown
     Drill,   //!< deterministic failure-lifecycle drill
+    Pool,    //!< multi-host pooled-memory cluster scenario
     Help,
 };
 
@@ -75,6 +76,11 @@ struct CliConfig
     /** Watchdog snapshot interval in microseconds (`--watchdog` /
      *  `--watchdog-ns`); 0 = no watchdog. */
     double watchdogUs = 0.0;
+
+    /** Pooled-cluster scenario (`--pool-spec`, pool mode only). Pool
+     *  mode carries all disturbances inside this spec and rejects
+     *  `--fault-spec` / `--qos-spec` / `--chaos-spec`. */
+    PoolSpec poolSpec;
 
     /**
      * Host threads for sweep modes (seq/rand/chase/loaded): each sweep

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cpu/core.hh"
+#include "system/cluster.hh"
 #include "system/machine.hh"
 
 namespace cxlmemo
@@ -223,6 +224,39 @@ struct DrillResult
  * 130 us, page offlining armed) plus a poison fault stream is used.
  */
 DrillResult runDrill(std::uint32_t threads, const Options &opts = {});
+
+/* ------------------------- pooled cluster ------------------------ */
+
+/** Outcome of one pooled-cluster scenario (memo --mode pool). */
+struct PoolResult
+{
+    ClusterResult cluster;
+
+    /** Host the blast-radius invariant protects (-1: every host is a
+     *  disturbance target, nothing to compare). */
+    std::int32_t victim = -1;
+
+    /**
+     * The blast-radius invariant: the victim host's digest (delivered
+     * data, poison ledger, status counts) from the full disturbed run
+     * is byte-identical to a victim-only baseline run. Vacuously true
+     * when the spec carries no disturbance or no victim exists.
+     */
+    bool isolationOk = true;
+};
+
+/**
+ * Run the pooled-cluster scenario described by @p spec. When the
+ * spec carries a disturbance (aggressor / crash / poison / port-down)
+ * and a victim host exists, a second victim-only baseline cluster
+ * runs (in parallel when @p jobs > 1, results merged positionally)
+ * and the victim digests are compared for the blast-radius invariant.
+ * Each cluster runs to quiescence (every op completes or aborts, all
+ * fencing and scrubbing settles); opts.simThreads and opts.watchdogUs
+ * carry over (the workload seed lives in the spec).
+ */
+PoolResult runPool(const PoolSpec &spec, const Options &opts = {},
+                   unsigned jobs = 1);
 
 /* ------------------------- data movement ------------------------- *
  * Fig. 4: moving data between local DDR5 ("D") and CXL memory ("C").

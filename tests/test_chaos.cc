@@ -1,8 +1,8 @@
 /**
  * @file
  * Tests for the failure-lifecycle (chaos) layer: ChaosSpec parsing
- * and validation, a property-style fuzz pass over all three spec
- * parsers, the link DOWN/retrain FSM, the degrade-window re-arm cap,
+ * and validation, a property-style fuzz pass over all four spec
+ * parsers (fault, QoS, chaos, pool), the link DOWN/retrain FSM, the degrade-window re-arm cap,
  * device hot-remove/re-add with both containment policies, the
  * per-page memory-failure ledger, NUMA-node offlining, the tiering
  * layer's failure responses, and the chaos drill harness.
@@ -114,7 +114,7 @@ TEST(ChaosSpec, ToStringRoundTrips)
 }
 
 /**
- * Property-style fuzz over all three spec parsers: whatever the
+ * Property-style fuzz over all four spec parsers: whatever the
  * input, parse() must either return a spec or set an error -- never
  * crash, never throw (ASan-clean by CI's chaos-smoke job). Inputs
  * are built from a deterministic RNG so a failure reproduces.
@@ -125,6 +125,8 @@ TEST(SpecFuzz, MalformedSpecsNeverCrashAnyParser)
         "crc",       "poison",   "credits", "policy",
         "link-down-at-ns", "retrain-ns", "remove-at-ns", "contain",
         "offline-threshold", "seed",  "degrade", "burst",
+        "hosts", "devices", "capacity-mb", "window-mb", "aggressor",
+        "crash-host", "crash-at-ns", "fence-check-ns", "arb", "rr",
         "0",  "1",  "-1", "1e-4", "2.5", "1e309", "nan", "x",
         "poison|abort", "aimd",   "abort",   "",
         "=",  ",",  "==", ",,",   " ",   "\t",   "%s",  "\xff",
@@ -154,6 +156,11 @@ TEST(SpecFuzz, MalformedSpecsNeverCrashAnyParser)
         // the same ranges validate() checks).
         if (cs)
             EXPECT_NO_THROW(cs->validate()) << input;
+        err.clear();
+        const auto ps = PoolSpec::parse(input, err);
+        EXPECT_TRUE(ps.has_value() || !err.empty()) << input;
+        if (ps)
+            EXPECT_NO_THROW(ps->validate()) << input;
     }
 }
 

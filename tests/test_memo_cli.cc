@@ -470,6 +470,95 @@ TEST(MemoCli, ReportModeParsesAndForcesAttribution)
     EXPECT_FALSE(plain->observability().attribution);
 }
 
+/* --------------------------- pool mode --------------------------- */
+
+TEST(MemoCli, PoolModeParsesSpecIntoConfig)
+{
+    const auto cfg = parse({"--mode", "pool", "--pool-spec",
+                            "hosts=4,ops=500,crash-host=1,"
+                            "crash-at-ns=10000,aggressor=3",
+                            "--sim-threads", "2", "--jobs", "2"});
+    ASSERT_TRUE(cfg);
+    EXPECT_EQ(cfg->mode, CliMode::Pool);
+    EXPECT_EQ(cfg->poolSpec.hosts, 4u);
+    EXPECT_EQ(cfg->poolSpec.ops, 500u);
+    EXPECT_EQ(cfg->poolSpec.crashHost, 1);
+    EXPECT_EQ(cfg->poolSpec.aggressor, 3);
+    EXPECT_EQ(cfg->simThreads, 2u);
+    EXPECT_EQ(cfg->jobs, 2u);
+    // Defaults: pool mode without a spec is the clean two-host run.
+    const auto bare = parse({"--mode", "pool"});
+    ASSERT_TRUE(bare);
+    EXPECT_EQ(bare->poolSpec.hosts, 2u);
+    EXPECT_FALSE(bare->poolSpec.disturbed());
+}
+
+TEST(MemoCli, PoolSpecEmptyValueIsRejected)
+{
+    for (const char *value : {"", " ", "  \t "}) {
+        std::vector<std::string> v{"--mode", "pool", "--pool-spec",
+                                   value};
+        std::string err;
+        EXPECT_FALSE(parseCli(v, err).has_value())
+            << "value '" << value << "'";
+        EXPECT_NE(err.find("empty"), std::string::npos) << err;
+        EXPECT_NE(err.find("pool-spec"), std::string::npos) << err;
+    }
+}
+
+TEST(MemoCli, PoolSpecRejectsBadGrammar)
+{
+    std::string err;
+    std::vector<std::string> v{"--mode", "pool", "--pool-spec",
+                               "hosts=99"};
+    EXPECT_FALSE(parseCli(v, err).has_value());
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    v = {"--mode", "pool", "--pool-spec", "frobnicate=1"};
+    EXPECT_FALSE(parseCli(v, err).has_value());
+    EXPECT_NE(err.find("pool-spec"), std::string::npos) << err;
+}
+
+TEST(MemoCli, PoolSpecRequiresPoolMode)
+{
+    std::string err;
+    std::vector<std::string> v{"--mode", "seq", "--pool-spec",
+                               "hosts=2"};
+    EXPECT_FALSE(parseCli(v, err).has_value());
+    EXPECT_NE(err.find("--mode pool"), std::string::npos) << err;
+}
+
+TEST(MemoCli, PoolModeRejectsForeignDisturbanceSpecs)
+{
+    // Pool mode carries every disturbance inside --pool-spec; the
+    // single-machine spec flags would silently not apply.
+    for (auto flagval :
+         {std::pair<const char *, const char *>{"--fault-spec",
+                                                "crc=1e-4"},
+          {"--qos-spec", "credits=24"},
+          {"--chaos-spec", "link-down-at-ns=1000"}}) {
+        std::vector<std::string> v{"--mode", "pool", flagval.first,
+                                   flagval.second};
+        std::string err;
+        EXPECT_FALSE(parseCli(v, err).has_value()) << flagval.first;
+        EXPECT_NE(err.find("--pool-spec"), std::string::npos) << err;
+    }
+}
+
+TEST(MemoCli, PoolCsvHeaderIsStableAndPerHost)
+{
+    const std::string h = csvHeader(CliMode::Pool, false, false, false);
+    for (const char *col :
+         {"host", "port", "role", "ops", "gbps", "read_p99_ns",
+          "poisoned", "aborted", "fenced", "granted_mb", "digest",
+          "time_to_fence_ns", "quarantined_mb", "recovered_mb",
+          "ledger_ok", "isolation_ok", "verdict"})
+        EXPECT_NE(h.find(col), std::string::npos) << col;
+    // Pool rows are their own tier: the observability column groups
+    // of the single-machine modes never widen them.
+    EXPECT_EQ(h, csvHeader(CliMode::Pool, true, true, true, true));
+}
+
 } // namespace
 } // namespace memo
 } // namespace cxlmemo

@@ -251,6 +251,30 @@ TEST(ParallelEngine, FencesSeeAllDomainsQuiesced)
     }
 }
 
+TEST(ParallelEngine, PendingCountsStagedCrossPosts)
+{
+    // A cross-domain message staged in an outbox but not yet
+    // delivered is still pending work. A watchdog that samples
+    // pending() between windows must not mistake "every queue
+    // drained, message parked in an outbox" for a deadlock -- that
+    // is exactly the cluster's crash-fencing window, where a host's
+    // last completions are in flight across the fabric boundary.
+    Rig rig(2);
+    ParallelExecutor ex(rig.ptrs, kLookahead, 2);
+    std::size_t pendingAtStage = 0;
+    rig.queues[0].schedule(ticksFromNs(1), [&] {
+        ex.post(0, 1, ticksFromNs(1) + 3 * kLookahead,
+                [&rig](Tick t) { rig.log(1, t, "delivered"); });
+        // The sending domain's own queue is empty and the target
+        // queue has not seen the message yet; only the outbox knows.
+        pendingAtStage = ex.pending();
+    });
+    EXPECT_TRUE(ex.run());
+    EXPECT_GE(pendingAtStage, 1u);
+    EXPECT_EQ(rig.journal[1].size(), 1u);
+    EXPECT_EQ(ex.pending(), 0u);
+}
+
 TEST(ParallelEngine, RunLimitIsInclusiveAndResumable)
 {
     Rig rig(2);

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Tests for the pooled-cluster scenario layer: PoolSpec grammar and
+ * validation, clean-run completion, crash detection and fencing
+ * (time-to-fence, quarantine -> scrub -> re-grant), the
+ * machine-checked blast-radius invariant (victim digests identical
+ * between the full disturbed run and a victim-only baseline),
+ * byte-identical results at every --sim-threads count, exact --jobs
+ * merges, the cross-host fairness regression pin, and the watchdog
+ * post-mortem naming the stuck switch port.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "memo/memo.hh"
+#include "system/cluster.hh"
+
+namespace cxlmemo
+{
+namespace
+{
+
+using memo::runPool;
+
+/** Small disturbed scenario used across the determinism tests. */
+PoolSpec
+drillSpec()
+{
+    std::string err;
+    const auto sp = PoolSpec::parse(
+        "hosts=4,ops=1500,crash-host=1,crash-at-ns=20000,aggressor=3,"
+        "credits=16,poison-host=2,poison-every=97",
+        err);
+    EXPECT_TRUE(sp.has_value()) << err;
+    return *sp;
+}
+
+/* ----------------------------- PoolSpec -------------------------- */
+
+TEST(PoolSpec, ParsesFullGrammar)
+{
+    std::string err;
+    const auto sp = PoolSpec::parse(
+        "hosts=4,devices=2,capacity-mb=128,window-mb=32,credits=8,"
+        "arb=fixed,ops=5000,read-frac=0.5,mlp=4,aggressor=3,"
+        "crash-host=1,crash-at-ns=10000,fence-check-ns=1000,"
+        "miss-threshold=3,scrub-ns-per-mb=50,contain=abort,"
+        "poison-host=2,poison-every=10,port-down-host=0,"
+        "port-down-at-ns=500,retrain-ns=750,seed=7",
+        err);
+    ASSERT_TRUE(sp.has_value()) << err;
+    EXPECT_EQ(sp->hosts, 4u);
+    EXPECT_EQ(sp->devices, 2u);
+    EXPECT_EQ(sp->capacityMb, 128u);
+    EXPECT_EQ(sp->windowMb, 32u);
+    EXPECT_EQ(sp->credits, 8u);
+    EXPECT_EQ(sp->arb, CxlSwitchParams::Arb::Fixed);
+    EXPECT_EQ(sp->ops, 5000u);
+    EXPECT_DOUBLE_EQ(sp->readFrac, 0.5);
+    EXPECT_EQ(sp->aggressor, 3);
+    EXPECT_EQ(sp->crashHost, 1);
+    EXPECT_EQ(sp->contain, ContainPolicy::Abort);
+    EXPECT_EQ(sp->poisonHost, 2);
+    EXPECT_EQ(sp->portDownHost, 0);
+    EXPECT_EQ(sp->seed, 7u);
+    EXPECT_TRUE(sp->disturbed());
+    EXPECT_EQ(sp->victimHost(), -1); // every host is disturbed
+}
+
+TEST(PoolSpec, ToStringRoundTrips)
+{
+    const PoolSpec sp = drillSpec();
+    std::string err;
+    const auto again = PoolSpec::parse(sp.toString(), err);
+    ASSERT_TRUE(again.has_value()) << err << " <- " << sp.toString();
+    EXPECT_EQ(again->toString(), sp.toString());
+}
+
+TEST(PoolSpec, RejectsBadInput)
+{
+    std::string err;
+    EXPECT_FALSE(PoolSpec::parse("hosts=0", err).has_value());
+    err.clear();
+    EXPECT_FALSE(PoolSpec::parse("bogus-key=1", err).has_value());
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    EXPECT_FALSE(PoolSpec::parse("hosts", err).has_value());
+    err.clear();
+    // Disturbances must be fully specified.
+    EXPECT_FALSE(PoolSpec::parse("crash-host=1", err).has_value());
+    err.clear();
+    EXPECT_FALSE(PoolSpec::parse("poison-host=0", err).has_value());
+    err.clear();
+    // Windows must fit the pool.
+    EXPECT_FALSE(
+        PoolSpec::parse("hosts=4,capacity-mb=16,window-mb=8", err)
+            .has_value());
+    err.clear();
+    // Aggressor index must name a real host.
+    EXPECT_FALSE(PoolSpec::parse("hosts=2,aggressor=5", err)
+                     .has_value());
+}
+
+TEST(PoolSpec, DefaultSpecIsCleanAndValid)
+{
+    const PoolSpec sp;
+    EXPECT_NO_THROW(sp.validate());
+    EXPECT_FALSE(sp.disturbed());
+    EXPECT_EQ(sp.victimHost(), 0);
+    const PoolSpec base = drillSpec().isolationBaseline();
+    EXPECT_FALSE(base.disturbed());
+    EXPECT_NO_THROW(base.validate());
+}
+
+/* ----------------------------- clean run ------------------------- */
+
+TEST(Pool, CleanRunCompletesEveryHost)
+{
+    PoolSpec sp;
+    sp.hosts = 2;
+    sp.ops = 1000;
+    const auto r = runPool(sp);
+    ASSERT_EQ(r.cluster.hosts.size(), 2u);
+    for (const auto &h : r.cluster.hosts) {
+        EXPECT_EQ(h.digest.ops, sp.ops);
+        EXPECT_GT(h.digest.reads, 0u);
+        EXPECT_GT(h.digest.writes, 0u);
+        EXPECT_EQ(h.digest.poisoned, 0u);
+        EXPECT_EQ(h.digest.aborted, 0u);
+        EXPECT_FALSE(h.fenced);
+        EXPECT_EQ(h.role, "normal");
+        EXPECT_GT(h.gbps, 0.0);
+        EXPECT_GT(h.readP99Ns, 0.0);
+    }
+    EXPECT_TRUE(r.cluster.ledgerOk);
+    EXPECT_TRUE(r.isolationOk);
+    EXPECT_LT(r.cluster.timeToFenceNs, 0.0); // nothing fenced
+    EXPECT_NE(r.cluster.verdict.find("no-aggressor"),
+              std::string::npos)
+        << r.cluster.verdict;
+}
+
+/* ------------------------ crash and fencing ---------------------- */
+
+TEST(Pool, CrashIsFencedAndCapacityRecovered)
+{
+    std::string err;
+    const auto sp = PoolSpec::parse(
+        "hosts=3,ops=1500,crash-host=1,crash-at-ns=20000,"
+        "fence-check-ns=2000,miss-threshold=2",
+        err);
+    ASSERT_TRUE(sp.has_value()) << err;
+    const auto r = runPool(*sp);
+    const auto &c = r.cluster;
+    ASSERT_EQ(c.hosts.size(), 3u);
+    EXPECT_TRUE(c.hosts[1].fenced);
+    EXPECT_EQ(c.hosts[1].role, "crashed");
+    EXPECT_LT(c.hosts[1].digest.ops, sp->ops); // died mid-run
+    EXPECT_FALSE(c.hosts[0].fenced);
+    EXPECT_FALSE(c.hosts[2].fenced);
+    EXPECT_EQ(c.hosts[0].digest.ops, sp->ops);
+    EXPECT_EQ(c.hosts[2].digest.ops, sp->ops);
+
+    // Detection latency: the dead host misses `missThreshold` beat
+    // periods, so the fence lands one check period after that window.
+    EXPECT_GT(c.timeToFenceNs, 0.0);
+    EXPECT_LE(c.timeToFenceNs,
+              (sp->missThreshold + 2) * sp->fenceCheckNs);
+
+    // Its capacity was quarantined, scrubbed, and re-granted.
+    EXPECT_GT(c.quarantinedBytes, 0u);
+    EXPECT_GT(c.recoveredBytes, 0u);
+    EXPECT_LE(c.recoveredBytes, c.quarantinedBytes);
+    EXPECT_TRUE(c.ledgerOk);
+    EXPECT_TRUE(r.isolationOk);
+    EXPECT_FALSE(c.watchdogTripped);
+}
+
+TEST(Pool, AbortContainmentAlsoConvergesAndConserves)
+{
+    std::string err;
+    const auto sp = PoolSpec::parse(
+        "hosts=2,ops=1000,crash-host=1,crash-at-ns=5000,"
+        "contain=abort",
+        err);
+    ASSERT_TRUE(sp.has_value()) << err;
+    const auto r = runPool(*sp);
+    EXPECT_TRUE(r.cluster.hosts[1].fenced);
+    EXPECT_TRUE(r.cluster.ledgerOk);
+    EXPECT_TRUE(r.isolationOk);
+    EXPECT_EQ(r.cluster.hosts[0].digest.ops, 1000u);
+}
+
+/* ------------------- blast-radius / determinism ------------------ */
+
+TEST(Pool, IsolationInvariantVictimDigestMatchesSoloBaseline)
+{
+    // The built-in self-test: run the disturbed cluster and the
+    // victim-only baseline; the victim's functional digest must be
+    // byte-identical even though three other hosts crashed, flooded
+    // and poisoned around it.
+    const auto r = runPool(drillSpec());
+    EXPECT_GE(r.victim, 0);
+    EXPECT_TRUE(r.isolationOk);
+    EXPECT_TRUE(r.cluster.ledgerOk);
+}
+
+TEST(Pool, ResultIsByteIdenticalAtEverySimThreadCount)
+{
+    // The parallel-engine contract (same as the single-machine one
+    // from the domain-partitioned engine): every thread count >= 1
+    // produces the same execution, so the *entire* result -- digests,
+    // fencing timeline, verdict, end tick -- matches exactly.
+    const PoolSpec sp = drillSpec();
+    auto runAt = [&sp](std::uint32_t threads) {
+        Cluster::Options o;
+        o.simThreads = threads;
+        Cluster c(sp, o);
+        return c.run();
+    };
+    const ClusterResult ref = runAt(1);
+    for (std::uint32_t t : {2u, 8u}) {
+        const ClusterResult par = runAt(t);
+        ASSERT_EQ(par.hosts.size(), ref.hosts.size());
+        for (std::size_t h = 0; h < ref.hosts.size(); ++h) {
+            EXPECT_EQ(par.hosts[h].digest, ref.hosts[h].digest)
+                << "host " << h << " at sim-threads " << t;
+            EXPECT_EQ(par.hosts[h].fenced, ref.hosts[h].fenced);
+            EXPECT_DOUBLE_EQ(par.hosts[h].readP99Ns,
+                             ref.hosts[h].readP99Ns);
+        }
+        EXPECT_DOUBLE_EQ(par.timeToFenceNs, ref.timeToFenceNs);
+        EXPECT_EQ(par.quarantinedBytes, ref.quarantinedBytes);
+        EXPECT_EQ(par.recoveredBytes, ref.recoveredBytes);
+        EXPECT_EQ(par.verdict, ref.verdict);
+        EXPECT_EQ(par.endTick, ref.endTick);
+        EXPECT_TRUE(par.ledgerOk);
+    }
+}
+
+TEST(Pool, UndisturbedDigestsAgreeAcrossEngines)
+{
+    // Classic (single queue) and parallel are different engines and
+    // may interleave same-tick fabric arrivals differently, which
+    // legitimately moves latency and any completion-order-coupled
+    // stream (the poison shaper). What must NOT move is the
+    // functional digest of a host nobody disturbs -- that is the
+    // timing-independence half of the blast-radius argument, across
+    // engines rather than across disturbances.
+    const PoolSpec sp = drillSpec(); // poisons host 2, crashes host 1
+    Cluster classic(sp);
+    Cluster::Options po;
+    po.simThreads = 2;
+    Cluster parallel(sp, po);
+    const auto a = classic.run();
+    const auto b = parallel.run();
+    EXPECT_EQ(a.hosts[0].digest, b.hosts[0].digest); // victim
+    EXPECT_EQ(a.hosts[3].digest, b.hosts[3].digest); // aggressor
+}
+
+TEST(Pool, JobsMergeIsExact)
+{
+    const PoolSpec sp = drillSpec();
+    const auto seq = runPool(sp, {}, 1);
+    const auto par = runPool(sp, {}, 2);
+    ASSERT_EQ(seq.cluster.hosts.size(), par.cluster.hosts.size());
+    for (std::size_t h = 0; h < seq.cluster.hosts.size(); ++h)
+        EXPECT_EQ(seq.cluster.hosts[h].digest,
+                  par.cluster.hosts[h].digest);
+    EXPECT_EQ(seq.isolationOk, par.isolationOk);
+    EXPECT_EQ(seq.cluster.verdict, par.cluster.verdict);
+}
+
+TEST(Pool, DisturbingOneHostNeverChangesAnothersDigest)
+{
+    // Direct statement of the blast-radius invariant, without
+    // runPool's solo-baseline machinery: host 0's digest is the same
+    // whether host 1 crashes or not (only its latency may move).
+    PoolSpec clean;
+    clean.hosts = 2;
+    clean.ops = 1000;
+    std::string err;
+    const auto crash = PoolSpec::parse(
+        "hosts=2,ops=1000,crash-host=1,crash-at-ns=5000", err);
+    ASSERT_TRUE(crash.has_value()) << err;
+    Cluster a(clean);
+    Cluster b(*crash);
+    const auto ra = a.run();
+    const auto rb = b.run();
+    EXPECT_EQ(ra.hosts[0].digest, rb.hosts[0].digest);
+    EXPECT_NE(ra.hosts[1].digest, rb.hosts[1].digest); // it died
+}
+
+/* ----------------------- poison routing -------------------------- */
+
+TEST(Pool, PoisonLandsOnlyInTargetedHostsLedger)
+{
+    std::string err;
+    const auto sp = PoolSpec::parse(
+        "hosts=3,ops=1500,poison-host=2,poison-every=50", err);
+    ASSERT_TRUE(sp.has_value()) << err;
+    const auto r = runPool(*sp);
+    const auto &c = r.cluster;
+    EXPECT_GT(c.hosts[2].digest.poisoned, 0u);
+    EXPECT_NE(c.hosts[2].digest.ledgerHash,
+              c.hosts[0].digest.ledgerHash);
+    EXPECT_EQ(c.hosts[0].digest.poisoned, 0u);
+    EXPECT_EQ(c.hosts[1].digest.poisoned, 0u);
+    EXPECT_EQ(c.hosts[0].digest.ledgerHash,
+              c.hosts[1].digest.ledgerHash); // both empty ledgers
+    EXPECT_TRUE(r.isolationOk);
+}
+
+/* --------------------- fairness regression ----------------------- */
+
+TEST(Pool, AggressorWithCreditsVictimTailStaysPinned)
+{
+    // Cross-host fairness pin: an nt-store flooding neighbor behind
+    // per-port credit pools must not blow up the victim's read tail.
+    // The bound is deliberately generous against the measured ~510 ns
+    // p99; a fairness regression in arbitration or credit handling
+    // shows up as a multiple, not a few percent.
+    std::string err;
+    const auto sp = PoolSpec::parse(
+        "hosts=2,ops=4000,aggressor=1,credits=8", err);
+    ASSERT_TRUE(sp.has_value()) << err;
+    const auto r = runPool(*sp);
+    const auto &victim = r.cluster.hosts[0];
+    EXPECT_EQ(victim.role, "victim");
+    EXPECT_EQ(victim.digest.ops, 4000u);
+    EXPECT_GT(victim.readP99Ns, 0.0);
+    EXPECT_LT(victim.readP99Ns, 1000.0) << "victim p99 regressed";
+    // The verdict names the aggressor and the victim port.
+    EXPECT_NE(r.cluster.verdict.find("aggressor=host1"),
+              std::string::npos)
+        << r.cluster.verdict;
+    EXPECT_NE(r.cluster.verdict.find("victim=host0"),
+              std::string::npos)
+        << r.cluster.verdict;
+    // And the aggressor may not corrupt the victim's data while
+    // degrading its latency.
+    EXPECT_TRUE(r.isolationOk);
+}
+
+/* ------------------------ watchdog coverage ---------------------- */
+
+TEST(Pool, WatchdogPostMortemNamesStuckPort)
+{
+    // Park port 0 in a never-ending retrain: its traffic is held,
+    // the cluster stops making progress, and the watchdog's
+    // post-mortem must name the stuck port and the waiting host.
+    std::string err;
+    const auto sp = PoolSpec::parse(
+        "hosts=2,ops=2000,port-down-host=0,port-down-at-ns=5000,"
+        "retrain-ns=100000000",
+        err);
+    ASSERT_TRUE(sp.has_value()) << err;
+    Cluster::Options o;
+    o.watchdogUs = 20.0;
+    o.limitUs = 500.0;
+    Cluster c(*sp, o);
+    const auto r = c.run();
+    EXPECT_TRUE(r.watchdogTripped);
+    EXPECT_NE(r.watchdogReport.find("port0"), std::string::npos)
+        << r.watchdogReport;
+    EXPECT_NE(r.watchdogReport.find("host0"), std::string::npos)
+        << r.watchdogReport;
+}
+
+TEST(Pool, WatchdogStaysQuietOnAHealthyDrill)
+{
+    Cluster::Options o;
+    o.watchdogUs = 50.0;
+    Cluster c(drillSpec(), o);
+    const auto r = c.run();
+    EXPECT_FALSE(r.watchdogTripped) << r.watchdogReport;
+    EXPECT_TRUE(r.ledgerOk);
+}
+
+} // namespace
+} // namespace cxlmemo
