@@ -145,6 +145,7 @@ PoolManager::releaseQuarantined()
                    (unsigned)released, (unsigned)quarSegs_);
     freeSegs_ += released;
     quarSegs_ = 0;
+    scrubbing_ = false;
     stats_.scrubbedBytes += std::uint64_t(released) * segBytes_;
     return std::uint64_t(released) * segBytes_;
 }

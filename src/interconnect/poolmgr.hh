@@ -127,9 +127,25 @@ class PoolManager
      */
     std::uint64_t quarantine(std::uint32_t host);
 
-    /** Scrub finished: all Quarantined segments -> Free.
-     *  @return bytes released. */
+    /** Scrub finished: all Quarantined segments -> Free (also ends
+     *  the scrub pass, see beginScrub()). @return bytes released. */
     std::uint64_t releaseQuarantined();
+
+    /** Mark the start of a scrub pass over the quarantined segments
+     *  (ledger state, so gauges can report it without the fencing
+     *  harness keeping a shadow flag). */
+    void beginScrub() { scrubbing_ = true; }
+
+    /** A scrub pass is running (set by beginScrub(), cleared by
+     *  releaseQuarantined()). */
+    bool scrubbing() const { return scrubbing_; }
+
+    /** Quarantined bytes currently under scrub; 0 when idle. Drops
+     *  to 0 the instant the scrub completes and the pool re-grants. */
+    std::uint64_t scrubbingBytes() const
+    {
+        return scrubbing_ ? quarantinedBytes() : 0;
+    }
 
     /**
      * Litmus/shared-window hook: @p host resolves translate() through
@@ -168,6 +184,7 @@ class PoolManager
     std::uint32_t totalSegs_;
     std::uint32_t freeSegs_;
     std::uint32_t quarSegs_ = 0;
+    bool scrubbing_ = false;
 
     std::vector<std::vector<Segment>> segs_; //!< [device][segment]
     std::vector<std::vector<Loc>> windows_;  //!< [host][window segment]

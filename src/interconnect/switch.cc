@@ -4,7 +4,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/fabric_attrib.hh"
 #include "sim/logging.hh"
+#include "sim/statmerge.hh"
+#include "sim/trace.hh"
 
 namespace cxlmemo
 {
@@ -25,6 +28,24 @@ CxlSwitchParams::validate() const
     if (headerBytes == 0)
         throw std::invalid_argument(
             "CxlSwitchParams: header bytes must be nonzero");
+}
+
+void
+SwitchPortStats::merge(const SwitchPortStats &o)
+{
+    mergeCounters(*this, o, &SwitchPortStats::reqs,
+                  &SwitchPortStats::reads, &SwitchPortStats::writes,
+                  &SwitchPortStats::reqBytes,
+                  &SwitchPortStats::responses,
+                  &SwitchPortStats::poisoned, &SwitchPortStats::aborted,
+                  &SwitchPortStats::abortedInFlight,
+                  &SwitchPortStats::droppedResponses,
+                  &SwitchPortStats::creditStalls,
+                  &SwitchPortStats::creditStallTicks,
+                  &SwitchPortStats::heldWhileDown,
+                  &SwitchPortStats::downs, &SwitchPortStats::retrains);
+    mergeTimestamps(*this, o, &SwitchPortStats::downAt,
+                    &SwitchPortStats::upAt, &SwitchPortStats::fencedAt);
 }
 
 const char *
@@ -99,6 +120,8 @@ CxlSwitch::submit(std::uint32_t port, std::uint32_t dev, Op op)
     p.stats.reqBytes += wireBytes(op.cmd, op.size, false);
 
     const Tick now = eq_.curTick();
+    if (board_)
+        board_->beginRequest(port, op.issued);
     if (p.state == PortState::Fenced) {
         completeAborted(port, std::move(op), now);
         return;
@@ -116,16 +139,24 @@ void
 CxlSwitch::admit(std::uint32_t port, Pending pend)
 {
     Port &p = ports_[port];
+    RequestTracer::mark(pend.op.span, TraceStage::SwCredit,
+                        eq_.curTick());
     if (p.credits) {
         CreditPool &pool = isWrite(pend.op.cmd) ? p.credits->wr
                                                 : p.credits->rd;
         // A zero-capacity class is uncapped (mirrors QosSpec).
         if (pool.capacity() > 0 && !pool.tryAcquire()) {
             ++p.stats.creditStalls;
+            if (board_)
+                board_->station(port, FabricStation::CreditWait)
+                    .enter(eq_.curTick());
             p.creditWait.push_back(std::move(pend));
             return;
         }
     }
+    if (board_)
+        board_->station(port, FabricStation::CreditWait)
+            .passThrough(0, 0, 0, true, eq_.curTick());
     enqueueVoq(port, std::move(pend));
 }
 
@@ -133,6 +164,10 @@ void
 CxlSwitch::enqueueVoq(std::uint32_t port, Pending pend)
 {
     const std::uint32_t dev = pend.dev;
+    RequestTracer::mark(pend.op.span, TraceStage::SwVoq, eq_.curTick());
+    if (board_)
+        board_->station(port, FabricStation::VoqWait)
+            .enter(eq_.curTick());
     ports_[port].voq[dev].push_back(std::move(pend));
     arbitrate(dev);
 }
@@ -186,11 +221,23 @@ CxlSwitch::arbitrate(std::uint32_t dev)
     const Tick ser = serializationTicks(
         wireBytes(pend.op.cmd, pend.op.size, false), params_.portGBps);
     x.busy = now + ser;
+    const Tick dispatch = x.busy + params_.forwardLatency;
+    if (board_) {
+        auto &voqSt = board_->station(pick, FabricStation::VoqWait);
+        voqSt.exitNow(now);
+        voqSt.account(now - pend.enq, 0, 0, true, now);
+        // Arb service = crossbar serialization + forward pipeline;
+        // only the serialization occupies the crossbar server.
+        board_->station(pick, FabricStation::Arb)
+            .passThrough(0, dispatch - now, ser, true, dispatch);
+    }
+    RequestTracer::mark(pend.op.span, TraceStage::SwXbar, now);
+    RequestTracer::mark(pend.op.span, TraceStage::SwDev, dispatch);
     ++p.inFlight;
     const std::uint32_t slot =
-        allocSlot(InFlight{std::move(pend.op), pick, dev, true});
+        allocSlot(InFlight{std::move(pend.op), pick, dev, true, dispatch});
 
-    eq_.schedule(x.busy + params_.forwardLatency, [this, slot, dev] {
+    eq_.schedule(dispatch, [this, slot, dev] {
         InFlight &f = slots_[slot];
         MemRequest req;
         req.addr = f.op.addr;
@@ -220,6 +267,11 @@ CxlSwitch::deviceDone(std::uint32_t slot, Tick now)
 {
     InFlight &f = slots_[slot];
     Port &p = ports_[f.port];
+
+    if (board_)
+        board_->station(f.port, FabricStation::DevService)
+            .passThrough(0, now - f.dispatch, now - f.dispatch, true,
+                         now);
 
     // Functional commit/read at the deterministic device-completion
     // point. A fenced host's in-flight write still commits (the data
@@ -255,6 +307,15 @@ CxlSwitch::egress(std::uint32_t slot, Tick now)
     const Tick ser = serializationTicks(
         wireBytes(f.op.cmd, f.op.size, true), params_.portGBps);
     p.egressBusy = grant + ser;
+    if (board_)
+        // Wire service folds in both port-latency hops (host->switch
+        // on the way down, switch->host on the way back): fixed wire
+        // propagation, so it never counts as server-busy time.
+        board_->station(f.port, FabricStation::Wire)
+            .passThrough(grant - now, ser + 2 * params_.portLatency,
+                         ser, true, p.egressBusy + params_.portLatency);
+    RequestTracer::mark(f.op.span, TraceStage::SwEgress, now);
+    RequestTracer::mark(f.op.span, TraceStage::SwS2m, p.egressBusy);
 
     // One event at wire-departure time: the credit rides back with
     // the response, and the upstream delivery lands a port latency
@@ -274,6 +335,8 @@ CxlSwitch::egress(std::uint32_t slot, Tick now)
             ++q.stats.responses;
             ++retired_;
             const Tick delivery = t + params_.portLatency;
+            if (board_)
+                board_->completeRequest(g.port, g.op.issued, delivery);
             auto done = std::move(g.op.done);
             done(delivery, Status::Ok, g.op.value);
         }
@@ -294,6 +357,12 @@ CxlSwitch::completeAborted(std::uint32_t port, Op op, Tick now)
     ++p.stats.aborted;
     if (st == Status::Poisoned)
         ++p.stats.poisoned;
+    RequestTracer::mark(op.span, TraceStage::SwFenceAbort, now);
+    if (board_)
+        // The abort's unaccounted tail lands in the port's residual.
+        board_->completeRequest(
+            port, op.issued,
+            now + params_.abortLatency + params_.portLatency);
     // Delivery tick includes the port latency, like every completion:
     // the caller may rely on a >= portLatency gap between the fabric
     // tick and the delivery tick (parallel-engine lookahead).
@@ -330,6 +399,12 @@ CxlSwitch::releaseCredit(std::uint32_t port, MemCmd cmd, Tick now)
         }
         Pending pend = std::move(p.creditWait.front());
         p.creditWait.pop_front();
+        if (board_) {
+            auto &cs =
+                board_->station(port, FabricStation::CreditWait);
+            cs.exitNow(now);
+            cs.account(now - pend.enq, 0, 0, true, now);
+        }
         pend.enq = now;
         enqueueVoq(port, std::move(pend));
     }
@@ -382,6 +457,12 @@ CxlSwitch::fencePort(std::uint32_t port, ContainPolicy policy)
     while (!p.creditWait.empty()) {
         Pending pend = std::move(p.creditWait.front());
         p.creditWait.pop_front();
+        if (board_) {
+            auto &cs =
+                board_->station(port, FabricStation::CreditWait);
+            cs.exitNow(now);
+            cs.account(now - pend.enq, 0, 0, true, now);
+        }
         completeAborted(port, std::move(pend.op), now);
     }
     // VOQ entries hold a credit; return it on the abort path so the
@@ -390,6 +471,12 @@ CxlSwitch::fencePort(std::uint32_t port, ContainPolicy policy)
         while (!q.empty()) {
             Pending pend = std::move(q.front());
             q.pop_front();
+            if (board_) {
+                auto &vs =
+                    board_->station(port, FabricStation::VoqWait);
+                vs.exitNow(now);
+                vs.account(now - pend.enq, 0, 0, true, now);
+            }
             releaseCredit(port, pend.op.cmd, now);
             completeAborted(port, std::move(pend.op), now);
         }

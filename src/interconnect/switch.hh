@@ -56,6 +56,9 @@
 namespace cxlmemo
 {
 
+class FabricBoard;
+struct TraceSpan;
+
 /** Configuration of one CxlSwitch. */
 struct CxlSwitchParams
 {
@@ -127,6 +130,10 @@ struct SwitchPortStats
     Tick downAt = 0;
     Tick upAt = 0;
     Tick fencedAt = 0;
+
+    /** Exact, associative merge: counters add, one-shot timestamps
+     *  take the max (statmerge rules; audited in test_observability). */
+    void merge(const SwitchPortStats &o);
 };
 
 /** Switch-wide occupancy gauges (tests / diagnosis). */
@@ -164,6 +171,12 @@ class CxlSwitch : public ProgressSource
         MemCmd cmd = MemCmd::Read;
         std::uint64_t value = 0; //!< write payload (functional layer)
         Done done;
+        /** Host issue tick: the start of the fabric attribution
+         *  bracket (delivery - issued is the cross-fabric end-to-end
+         *  latency). Only read when a FabricBoard is attached. */
+        Tick issued = 0;
+        /** Sampled request-lifecycle span (null = untraced). */
+        TraceSpan *span = nullptr;
     };
 
     /**
@@ -238,6 +251,36 @@ class CxlSwitch : public ProgressSource
 
     SwitchGauges gauges() const;
 
+    /** Per-port live queue depths (metrics gauges). */
+    std::size_t
+    voqDepth(std::uint32_t port) const
+    {
+        std::size_t n = 0;
+        for (const auto &q : ports_[port].voq)
+            n += q.size();
+        return n;
+    }
+
+    std::size_t
+    creditWaitDepth(std::uint32_t port) const
+    {
+        return ports_[port].creditWait.size();
+    }
+
+    std::uint32_t
+    portInFlight(std::uint32_t port) const
+    {
+        return ports_[port].inFlight;
+    }
+
+    /**
+     * Attach a fabric attribution board (one station set per port,
+     * ports must match); null detaches. Pure observation: accounting
+     * never schedules events or changes timing, so simulated results
+     * are bit-identical with or without a board.
+     */
+    void setFabricBoard(FabricBoard *board) { board_ = board; }
+
     /* ----------------- ProgressSource (watchdog) ----------------- */
 
     std::string progressName() const override { return params_.name; }
@@ -262,6 +305,7 @@ class CxlSwitch : public ProgressSource
         std::uint32_t port = 0;
         std::uint32_t dev = 0;
         bool used = false;
+        Tick dispatch = 0; //!< device-access tick (sw.dev_service start)
     };
 
     struct Port
@@ -310,6 +354,7 @@ class CxlSwitch : public ProgressSource
     std::function<std::uint64_t(std::uint32_t, MemCmd, Addr,
                                 std::uint64_t)>
         dataHook_;
+    FabricBoard *board_ = nullptr; //!< fabric attribution (optional)
 
     std::uint64_t retired_ = 0;
 };

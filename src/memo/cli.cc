@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "sim/attribution.hh"
+#include "sim/fabric_attrib.hh"
 #include "sim/histogram.hh"
 #include "sim/sweep.hh"
 #include "sim/trace.hh"
@@ -198,7 +199,11 @@ cliUsage()
         "            fencing with capacity quarantine/scrub/re-grant,\n"
         "            port outage/retrain, noisy-neighbor attribution\n"
         "            and a machine-checked blast-radius isolation\n"
-        "            invariant (per-host CSV tiers)\n"
+        "            invariant (per-host CSV tiers); with --attrib,\n"
+        "            --trace-out and --metrics-out the fabric itself\n"
+        "            is observable: per-port switch-station\n"
+        "            attribution, cross-host Perfetto traces and a\n"
+        "            cluster bottleneck verdict\n"
         "\n"
         "options:\n"
         "  --target  ddr5-l8 | ddr5-r1 | cxl         (default ddr5-l8)\n"
@@ -260,7 +265,7 @@ cliUsage()
         "  --metrics-interval-ns N   metrics snapshot interval\n"
         "                (default 1000 when --metrics-out is given)\n"
         "  --histograms  per-component latency histograms (extra CSV\n"
-        "                columns / report lines)\n"
+        "                columns / report lines; not in pool mode)\n"
         "  --attrib      exhaustive latency accounting: per-station\n"
         "                queue/service/utilization columns, the\n"
         "                demand-read latency stack and an automatic\n"
@@ -469,8 +474,10 @@ parseCli(const std::vector<std::string> &rawArgs, std::string &error)
             if (!v)
                 return std::nullopt;
             auto s = parseSize(*v);
-            if (!s || *s == 0 || *s > 256) {
-                error = "bad sim-threads count (1..256): " + *v;
+            if (!s || *s > 256) {
+                // 0 is the documented classic-engine default and is
+                // accepted explicitly (scripts spell out the matrix).
+                error = "bad sim-threads count (0..256): " + *v;
                 return std::nullopt;
             }
             cfg.simThreads = static_cast<std::uint32_t>(*s);
@@ -620,6 +627,21 @@ parseCli(const std::vector<std::string> &rawArgs, std::string &error)
         error = "--pool-spec requires --mode pool";
         return std::nullopt;
     }
+    // Flag matrix, rejected up front with one line instead of a
+    // mid-run throw: request-lifecycle tracing marks spans across
+    // domains, so it needs the classic single-queue engine in every
+    // mode; pool mode has per-host read histograms built into its
+    // rows, the machine-level histogram columns do not apply.
+    if (cfg.simThreads > 0
+        && (!cfg.traceOut.empty() || cfg.traceSampleEvery > 0)) {
+        error = "--trace-out/--trace-sample require --sim-threads 0";
+        return std::nullopt;
+    }
+    if (cfg.mode == CliMode::Pool && cfg.histograms) {
+        error = "pool mode does not support --histograms (per-host "
+                "read latency is built into the rows)";
+        return std::nullopt;
+    }
     return cfg;
 }
 
@@ -692,6 +714,39 @@ attribCsvColumns()
     cols += ",attrib_reqs,attrib_total_ns,attrib_other_ns,"
             "attrib_little_ok,attrib_bottleneck";
     return cols;
+}
+
+/** Fabric-attribution tier of the pool CSV: per-port (== per-row)
+ *  switch-station triplets plus the cross-fabric stack summary, one
+ *  fragment per FabricStation in enum order. */
+std::string
+fabricCsvColumns()
+{
+    std::string cols;
+    for (std::size_t i = 0; i < numFabricStations; ++i) {
+        const std::string c =
+            fabricStationColumn(static_cast<FabricStation>(i));
+        cols += "," + c + "_q_ns," + c + "_s_ns," + c + "_util";
+    }
+    cols += ",fabric_reqs,fabric_total_ns,fabric_other_ns,"
+            "fabric_little_ok,fabric_decomp_exact";
+    return cols;
+}
+
+void
+printFabricCsvCells(const FabricSnapshot &snap, std::uint32_t port)
+{
+    const FabricPortSnap &fp = snap.ports[port];
+    for (std::size_t i = 0; i < numFabricStations; ++i) {
+        const auto id = static_cast<FabricStation>(i);
+        std::printf(",%.2f,%.2f,%.4f", fp.componentQueueNs(id),
+                    fp.componentServiceNs(id),
+                    fp.util(id, snap.elapsed));
+    }
+    std::printf(",%llu,%.2f,%.2f,%d,%d",
+                (unsigned long long)fp.reqCount, fp.avgTotalNs(),
+                fp.otherNs(), fp.littleOk(snap.elapsed) ? 1 : 0,
+                fp.decompositionExact() ? 1 : 0);
 }
 
 /** The device hosting @p target on @p m (nullopt target: merge every
@@ -981,14 +1036,21 @@ csvHeader(CliMode mode, bool ras, bool qos, bool hist, bool attrib)
                "pages_offlined,offlined_bytes,migrated_bytes,"
                "aborted_reads,aborted_writes,invariant_ok";
         break;
-      case CliMode::Pool:
+      case CliMode::Pool: {
         // Per-host tiers plus run-level fencing/isolation columns
         // (repeated on every row so the file is self-contained). Pool
-        // mode rejects the machine-level specs, so no extra groups.
-        return "host,port,role,ops,gbps,read_avg_ns,read_p99_ns,"
-               "poisoned,aborted,fenced,granted_mb,digest,"
-               "time_to_fence_ns,quarantined_mb,recovered_mb,"
-               "ledger_ok,isolation_ok,verdict";
+        // mode rejects the machine-level specs; --attrib appends the
+        // fabric tier (each row is a switch port) and nothing else
+        // moves, so attrib-off output stays byte-identical.
+        std::string pool =
+            "host,port,role,ops,gbps,read_avg_ns,read_p99_ns,"
+            "poisoned,aborted,fenced,granted_mb,digest,"
+            "time_to_fence_ns,quarantined_mb,recovered_mb,"
+            "ledger_ok,isolation_ok,verdict";
+        if (attrib)
+            pool += fabricCsvColumns();
+        return pool;
+      }
       case CliMode::Help:
         return "";
     }
@@ -1402,12 +1464,13 @@ runCli(const CliConfig &cfg)
       case CliMode::Pool: {
         const PoolResult r = runPool(cfg.poolSpec, opts, cfg.jobs);
         const ClusterResult &c = r.cluster;
+        const bool fabric = attrib && c.fabric.enabled();
         if (cfg.csv) {
             csvHeaderLine();
             for (const HostReport &h : c.hosts) {
                 std::printf(
                     "%u,%u,%s,%llu,%.2f,%.1f,%.1f,%llu,%llu,%d,%llu,"
-                    "%016llx%016llx,%.1f,%llu,%llu,%d,%d,%s\n",
+                    "%016llx%016llx,%.1f,%llu,%llu,%d,%d,%s",
                     h.host, h.host, h.role.c_str(),
                     (unsigned long long)h.digest.ops, h.gbps,
                     h.readAvgNs, h.readP99Ns,
@@ -1422,6 +1485,9 @@ runCli(const CliConfig &cfg)
                     (unsigned long long)(c.recoveredBytes / miB),
                     c.ledgerOk ? 1 : 0, r.isolationOk ? 1 : 0,
                     c.verdict.c_str());
+                if (fabric)
+                    printFabricCsvCells(c.fabric, h.host);
+                std::printf("\n");
             }
         } else {
             std::printf("pooled cluster: %s\n",
@@ -1456,15 +1522,26 @@ runCli(const CliConfig &cfg)
                             r.isolationOk ? "OK" : "VIOLATED");
             }
             std::printf("\n  verdict: %s\n", c.verdict.c_str());
+            if (fabric) {
+                std::printf("  fabric attribution:\n%s",
+                            c.fabric.table().c_str());
+            }
             if (c.watchdogTripped) {
                 std::printf("  watchdog tripped:\n%s\n",
                             c.watchdogReport.c_str());
             }
         }
+        // The disturbed cluster is the run's single "point" for the
+        // trace/metrics sinks (the baseline runs dark, see runPool).
+        std::vector<PointResult> pts(1);
+        pts[0].traceJson = c.traceJson;
+        pts[0].metricsRows = c.metricsRows;
+        const int fileRc = finishRun(cfg, pts);
         // Invariant violations are a failing exit: CI smoke drills
         // rely on it the way the poison-conservation checks do.
-        return c.ledgerOk && r.isolationOk && !c.watchdogTripped ? 0
-                                                                 : 1;
+        const bool ok =
+            c.ledgerOk && r.isolationOk && !c.watchdogTripped;
+        return ok ? fileRc : 1;
       }
     }
     return 1;

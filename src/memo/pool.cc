@@ -38,8 +38,18 @@ runPool(const PoolSpec &spec, const Options &opts, unsigned jobs)
 
     const auto runOne = [&](std::size_t i) {
         if (i == 0) {
-            Cluster c(spec, co);
-            return c.run();
+            // Observability instruments the disturbed run only; the
+            // baseline exists to compare digests, which observability
+            // never changes, so running it dark keeps it cheap.
+            Cluster::Options po = co;
+            po.obs = opts.obs;
+            Cluster c(spec, po);
+            ClusterResult r = c.run();
+            // Serialize the trace here, after the timed run: run()
+            // leaves ClusterResult::traceJson empty by contract.
+            if (po.obs.traceSampleEvery > 0)
+                r.traceJson = c.traceJson();
+            return r;
         }
         // Victim-only baseline: disturbances cleared, every other
         // host holds its (identical) window grant but issues nothing.

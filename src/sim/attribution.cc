@@ -5,6 +5,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "sim/statmerge.hh"
+
 namespace cxlmemo
 {
 
@@ -68,14 +70,11 @@ AccountedStation::reset(Tick now)
 void
 StationSnap::merge(const StationSnap &o)
 {
-    enters += o.enters;
-    exits += o.exits;
-    queueTicks += o.queueTicks;
-    serviceTicks += o.serviceTicks;
-    busyTicks += o.busyTicks;
-    occIntegral += o.occIntegral;
-    stackQueueTicks += o.stackQueueTicks;
-    stackServiceTicks += o.stackServiceTicks;
+    mergeCounters(*this, o, &StationSnap::enters, &StationSnap::exits,
+                  &StationSnap::queueTicks, &StationSnap::serviceTicks,
+                  &StationSnap::busyTicks, &StationSnap::occIntegral,
+                  &StationSnap::stackQueueTicks,
+                  &StationSnap::stackServiceTicks);
     servers = std::max(servers, o.servers);
     buffer = buffer || o.buffer;
 }

@@ -10,6 +10,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "sim/statmerge.hh"
+
 namespace cxlmemo
 {
 
@@ -160,29 +162,20 @@ ChaosSpec::parse(const std::string &text, std::string &error)
 void
 ChaosStats::merge(const ChaosStats &o)
 {
-    linkDowns += o.linkDowns;
-    retrains += o.retrains;
-    widthStepUps += o.widthStepUps;
-    blockedMsgs += o.blockedMsgs;
-    removals += o.removals;
-    readds += o.readds;
-    abortedReads += o.abortedReads;
-    abortedWrites += o.abortedWrites;
-    abortedBytes += o.abortedBytes;
-    poisonEvents += o.poisonEvents;
-    pagesOfflined += o.pagesOfflined;
-    offlinedBytes += o.offlinedBytes;
-    migratedBytes += o.migratedBytes;
-    dataAtRiskBytes += o.dataAtRiskBytes;
+    mergeCounters(*this, o, &ChaosStats::linkDowns, &ChaosStats::retrains,
+                  &ChaosStats::widthStepUps, &ChaosStats::blockedMsgs,
+                  &ChaosStats::removals, &ChaosStats::readds,
+                  &ChaosStats::abortedReads, &ChaosStats::abortedWrites,
+                  &ChaosStats::abortedBytes, &ChaosStats::poisonEvents,
+                  &ChaosStats::pagesOfflined, &ChaosStats::offlinedBytes,
+                  &ChaosStats::migratedBytes,
+                  &ChaosStats::dataAtRiskBytes);
     // Timestamps: each side owns its own (device: link/removal, host:
     // ledger), so a nonzero value wins; concurrent nonzeros take max.
-    linkDownAt = std::max(linkDownAt, o.linkDownAt);
-    linkDetectAt = std::max(linkDetectAt, o.linkDetectAt);
-    linkUpAt = std::max(linkUpAt, o.linkUpAt);
-    linkFullWidthAt = std::max(linkFullWidthAt, o.linkFullWidthAt);
-    removeAt = std::max(removeAt, o.removeAt);
-    removeDetectAt = std::max(removeDetectAt, o.removeDetectAt);
-    readdAt = std::max(readdAt, o.readdAt);
+    mergeTimestamps(*this, o, &ChaosStats::linkDownAt,
+                    &ChaosStats::linkDetectAt, &ChaosStats::linkUpAt,
+                    &ChaosStats::linkFullWidthAt, &ChaosStats::removeAt,
+                    &ChaosStats::removeDetectAt, &ChaosStats::readdAt);
 }
 
 std::string

@@ -1,5 +1,6 @@
 #include "sim/metrics.hh"
 
+#include <charconv>
 #include <cstdio>
 
 namespace cxlmemo
@@ -38,17 +39,45 @@ void
 MetricsRegistry::snapshot(Tick now)
 {
     ++snapshots_;
+    // All rows of one snapshot share the time column; format it once
+    // (and counter values with to_chars below): at pool scale the
+    // sampler emits thousands of rows, and per-row snprintf was the
+    // measurable part of the metrics overhead.
+    char tbuf[32];
+    std::snprintf(tbuf, sizeof(tbuf), "%.1f,", nsFromTicks(now));
     for (Counter &c : counters_) {
         const std::uint64_t total = c.read();
         // Monotonicity is the source's contract; a reset between
         // snapshots would make the delta wrap. Clamp defensively so a
         // misbehaving source corrupts one row, not the whole timeline.
         const std::uint64_t delta = total >= c.last ? total - c.last : 0;
-        appendRow(now, c.name, "delta", delta);
+        // The timeline is a change log: a zero delta carries no
+        // information (sum(deltas) == total holds with or without
+        // it), and skipping it keeps a fleet of mostly-idle fabric
+        // counters from dominating the sampling cost.
+        if (delta != 0) {
+            rows_ += tbuf;
+            rows_ += c.name;
+            rows_ += ",delta,";
+            char vbuf[24];
+            const auto r = std::to_chars(vbuf, vbuf + sizeof(vbuf),
+                                         delta);
+            rows_.append(vbuf, r.ptr);
+            rows_ += '\n';
+        }
         c.last = total;
     }
-    for (const Gauge &g : gauges_)
-        appendRow(now, g.name, "gauge", g.read());
+    for (Gauge &g : gauges_) {
+        const double v = g.read();
+        // Same rule for gauges: the level is emitted when it moves
+        // (and once at the first sample, so every gauge appears);
+        // readers hold the last value across silent intervals.
+        if (!g.emitted || v != g.last) {
+            appendRow(now, g.name, "gauge", v);
+            g.emitted = true;
+            g.last = v;
+        }
+    }
 }
 
 void
@@ -70,6 +99,8 @@ MetricsRegistry::reset()
     flushed_ = false;
     for (Counter &c : counters_)
         c.last = c.read();
+    for (Gauge &g : gauges_)
+        g.emitted = false;
 }
 
 } // namespace cxlmemo

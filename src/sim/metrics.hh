@@ -15,6 +15,13 @@
  *  - **gauge**: an instantaneous level (queue depth, buffer
  *    occupancy, DevLoad, credit-wait depth); sampled as-is.
  *
+ * The timeline is a *change log*: zero-delta counter rows and
+ * unchanged gauge rows are elided (every gauge still appears at its
+ * first sample). Conservation is unaffected -- a zero delta sums to
+ * nothing -- and a fleet of mostly-idle per-port fabric counters no
+ * longer dominates the sampling cost; readers hold a gauge's last
+ * value across silent intervals.
+ *
  * CSV schema (long format, one row per metric per snapshot):
  *
  *     time_ns,metric,kind,value
@@ -95,6 +102,8 @@ class MetricsRegistry
     {
         std::string name;
         std::function<double()> read;
+        double last = 0.0;
+        bool emitted = false;
     };
 
     void appendRow(Tick now, const std::string &name, const char *kind,

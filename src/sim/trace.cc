@@ -21,6 +21,14 @@ traceStageName(TraceStage s)
       case TraceStage::CxlIngress: return "cxl_ingress";
       case TraceStage::CxlEgress:  return "cxl_egress";
       case TraceStage::CxlS2m:     return "cxl_s2m";
+      case TraceStage::SwM2s:      return "sw_m2s";
+      case TraceStage::SwCredit:   return "sw_credit";
+      case TraceStage::SwVoq:      return "sw_voq";
+      case TraceStage::SwXbar:     return "sw_xbar";
+      case TraceStage::SwDev:      return "sw_dev";
+      case TraceStage::SwEgress:   return "sw_egress";
+      case TraceStage::SwS2m:      return "sw_s2m";
+      case TraceStage::SwFenceAbort: return "sw_fence_abort";
     }
     return "?";
 }
@@ -36,9 +44,14 @@ RequestTracer::maybeStart(std::uint16_t source, MemCmd cmd, Addr addr,
 {
     if (sampleEvery_ == 0)
         return nullptr;
-    const std::uint64_t n = seen_++;
-    if (n % sampleEvery_ != 0)
+    ++seen_;
+    // Countdown, not modulo: this runs at every request issue on the
+    // hot path, and a u64 division per request is measurable at pool
+    // scale. Starts at 1 so the first request is sampled, matching
+    // the (seen % N == 0) rule this replaces.
+    if (--countdown_ != 0)
         return nullptr;
+    countdown_ = sampleEvery_;
     auto span = std::make_unique<TraceSpan>();
     span->id = nextId_++;
     span->source = source;

@@ -57,7 +57,24 @@ enum class TraceStage : std::uint8_t
     CxlIngress, //!< device controller ingress pipe + tracker/buffer wait
     CxlEgress,  //!< device controller egress pipe
     CxlS2m,     //!< S2M response flit (device->host)
+    // Fabric stages: the pooled-memory switch path (Cluster mode).
+    SwM2s,        //!< host -> switch ingress flit (port latency)
+    SwCredit,     //!< waiting for a port rd/wr credit
+    SwVoq,        //!< queued in the port's virtual output queue
+    SwXbar,       //!< crossbar grant + request serialization
+    SwDev,        //!< pooled device service (behind the switch)
+    SwEgress,     //!< response waiting for / crossing the egress wire
+    SwS2m,        //!< switch -> host response flit (port latency)
+    SwFenceAbort, //!< aborted by port fencing (blast-radius path)
 };
+
+/** First stage of the fabric (switch-path) range, for track routing:
+ *  exporters place stages >= this on the fabric track. */
+constexpr bool
+isFabricStage(TraceStage s)
+{
+    return s >= TraceStage::SwM2s;
+}
 
 /** Human/trace-viewer name of a stage. */
 const char *traceStageName(TraceStage s);
@@ -118,6 +135,11 @@ class RequestTracer
 
     const std::deque<TraceSpan> &ring() const { return ring_; }
 
+    /** Completed spans retained for export, in completion order.
+     *  Custom exporters (the Cluster's per-host + fabric-track JSON)
+     *  walk this instead of appendTraceEvents(). */
+    const std::vector<TraceSpan> &completed() const { return completed_; }
+
     /**
      * Append this tracer's completed spans as Chrome trace-event JSON
      * objects (comma-separated; no surrounding array) to @p out. Each
@@ -138,6 +160,8 @@ class RequestTracer
     std::uint64_t sampleEvery_;
     std::size_t ringCap_;
     std::uint64_t seen_ = 0;
+    /** Requests until the next sample (1 == sample the next one). */
+    std::uint64_t countdown_ = 1;
     std::uint64_t nextId_ = 0;
     std::uint64_t dropped_ = 0;
 

@@ -422,6 +422,124 @@ Cluster::Cluster(const PoolSpec &spec, Options opts)
             watchdogReport_ = report;
         });
     }
+
+    setupObservability();
+}
+
+void
+Cluster::setupObservability()
+{
+    const ObservabilityOptions &obs = opts_.obs;
+    // Tracing marks spans on both the host and fabric domains, so it
+    // needs the classic engine. Same restriction (and message shape)
+    // as the Machine.
+    if (obs.traceSampleEvery > 0 && opts_.simThreads > 0)
+        throw std::invalid_argument(
+            "Cluster: request-lifecycle tracing requires the "
+            "single-queue engine (simThreads = 0)");
+    if (obs.attribution) {
+        board_ = std::make_unique<FabricBoard>(spec_.hosts,
+                                               spec_.devices, 0);
+        sw_->setFabricBoard(board_.get());
+    }
+    if (obs.traceSampleEvery > 0) {
+        for (auto &H : hosts_)
+            H.tracer = std::make_unique<RequestTracer>(
+                obs.traceSampleEvery, obs.traceRing);
+    }
+    if (obs.metricsInterval > 0) {
+        metrics_ = std::make_unique<MetricsRegistry>();
+        registerMetrics();
+        sampler_ = std::make_unique<MetricsSampler>(eq_, *metrics_,
+                                                    obs.metricsInterval);
+        if (exec_) {
+            // A snapshot reads fabric-domain state; fence every
+            // snapshot tick so it observes a globally quiesced fabric
+            // (same hooks as the watchdog above).
+            sampler_->setParallelHooks(
+                [this] { return exec_->pending(); },
+                [this](Tick t) { exec_->addFence(t); });
+        }
+    }
+    if (watchdog_) {
+        for (auto &H : hosts_) {
+            if (!H.tracer)
+                continue;
+            RequestTracer *tr = H.tracer.get();
+            const std::uint32_t h = H.id;
+            watchdog_->addPostMortem([this, tr, h] {
+                return "  host" + std::to_string(h) + " (port"
+                       + std::to_string(h) + "):\n"
+                       + tr->postMortem(eq_.curTick());
+            });
+        }
+        if (board_) {
+            watchdog_->addPostMortem([this] {
+                return board_->snapshot(eq_.curTick()).postMortem();
+            });
+        }
+    }
+}
+
+void
+Cluster::registerMetrics()
+{
+    MetricsRegistry &m = *metrics_;
+    CxlSwitch *sw = sw_.get();
+    for (std::uint32_t h = 0; h < spec_.hosts; ++h) {
+        const std::string p = "sw.p" + std::to_string(h) + ".";
+        const SwitchPortStats *st = &sw->portStats(h);
+        m.addCounter(p + "reqs", [st] { return st->reqs; });
+        m.addCounter(p + "responses", [st] { return st->responses; });
+        m.addCounter(p + "req_bytes", [st] { return st->reqBytes; });
+        m.addCounter(p + "credit_stall_ticks",
+                     [st] { return st->creditStallTicks; });
+        m.addCounter(p + "aborted", [st] {
+            return st->aborted + st->abortedInFlight;
+        });
+        m.addCounter(p + "poisoned", [st] { return st->poisoned; });
+        m.addGauge(p + "voq_depth", [sw, h] {
+            return static_cast<double>(sw->voqDepth(h));
+        });
+        m.addGauge(p + "credit_wait_depth", [sw, h] {
+            return static_cast<double>(sw->creditWaitDepth(h));
+        });
+        m.addGauge(p + "in_flight", [sw, h] {
+            return static_cast<double>(sw->portInFlight(h));
+        });
+        m.addGauge(p + "credit_occupancy", [sw, h] {
+            const LinkCredits *c = sw->portCredits(h);
+            return c ? static_cast<double>(c->rd.inFlight()
+                                           + c->wr.inFlight())
+                     : 0.0;
+        });
+        m.addGauge("pool.h" + std::to_string(h) + ".granted_bytes",
+                   [this, h] {
+                       return static_cast<double>(
+                           pool_->grantedBytes(h));
+                   });
+    }
+    PoolManager *pm = pool_.get();
+    m.addCounter("pool.granted_bytes_total",
+                 [pm] { return pm->stats().grantedBytes; });
+    m.addCounter("pool.quarantined_bytes_total",
+                 [pm] { return pm->stats().quarantinedBytes; });
+    m.addCounter("pool.scrubbed_bytes_total",
+                 [pm] { return pm->stats().scrubbedBytes; });
+    m.addGauge("pool.free_bytes",
+               [pm] { return static_cast<double>(pm->freeBytes()); });
+    m.addGauge("pool.quarantined_bytes", [pm] {
+        return static_cast<double>(pm->quarantinedBytes());
+    });
+    m.addGauge("pool.scrubbing_bytes", [pm] {
+        return static_cast<double>(pm->scrubbingBytes());
+    });
+    m.addGauge("pool.time_to_fence_ns", [this] {
+        if (fencedAt_ == 0)
+            return 0.0;
+        return crashTick_ > 0 ? nsFromTicks(fencedAt_ - crashTick_)
+                              : nsFromTicks(fencedAt_);
+    });
 }
 
 Cluster::~Cluster() = default;
@@ -480,7 +598,8 @@ Cluster::shapeStatus(std::uint32_t host, MemCmd cmd,
 
 void
 Cluster::submitFromHost(std::uint32_t host, MemCmd cmd, Addr hostAddr,
-                        std::uint64_t value, CxlSwitch::Done done)
+                        std::uint64_t value, Tick issued,
+                        TraceSpan *span, CxlSwitch::Done done)
 {
     // A fenced host's window is already quarantined; skip translation
     // and let the switch abort at the (fenced) port.
@@ -491,6 +610,8 @@ Cluster::submitFromHost(std::uint32_t host, MemCmd cmd, Addr hostAddr,
     op.addr = loc.addr;
     op.cmd = cmd;
     op.value = value;
+    op.issued = issued;
+    op.span = span;
     op.done = [this, host, cmd, done = std::move(done)](
                   Tick d, CxlSwitch::Status st,
                   std::uint64_t v) mutable {
@@ -524,6 +645,15 @@ Cluster::issueSlot(std::uint32_t host, std::uint32_t slot)
                    ^ (std::uint64_t(slot) << 32) ^ opIdx);
     const Tick issued = hostQueue(host).curTick();
     S.issueTick = issued;
+    TraceSpan *span = nullptr;
+    if (H.tracer) {
+        span = H.tracer->maybeStart(static_cast<std::uint16_t>(host),
+                                    cmd, hostAddr, issued);
+        // The span starts in the host->switch ingress flit; closed-
+        // loop slots carry one op at a time, so the slot anchors it.
+        RequestTracer::mark(span, TraceStage::SwM2s, issued);
+        S.span = span;
+    }
 
     CxlSwitch::Done done =
         [this, host, slot, opIdx, hostAddr, cmd, issued](
@@ -537,10 +667,10 @@ Cluster::issueSlot(std::uint32_t host, std::uint32_t slot)
                        });
         };
     postToFabric(host, issued + sw_->params().portLatency,
-                 [this, host, cmd, hostAddr, value,
+                 [this, host, cmd, hostAddr, value, issued, span,
                   done = std::move(done)]() mutable {
-                     submitFromHost(host, cmd, hostAddr, value,
-                                    std::move(done));
+                     submitFromHost(host, cmd, hostAddr, value, issued,
+                                    span, std::move(done));
                  });
 }
 
@@ -552,6 +682,13 @@ Cluster::slotDone(std::uint32_t host, std::uint32_t slot,
 {
     Host &H = hosts_[host];
     Slot &S = H.slots[slot];
+    if (S.span) {
+        // Close the span even for a crashed host: the fenced-abort
+        // completion is exactly what the blast-radius post-mortem
+        // needs to see on the dead host's track.
+        H.tracer->finish(S.span, at);
+        S.span = nullptr;
+    }
     if (H.crashed)
         return; // a dead host processes nothing
 
@@ -621,7 +758,7 @@ Cluster::fenceHost(std::uint32_t host, Tick now)
     sw_->fencePort(host, spec_.contain);
     const std::uint64_t qb = pool_->quarantine(host);
     quarantinedBytes_ += qb;
-    scrubPending_ = true;
+    pool_->beginScrub();
     const Tick scrub = std::max<Tick>(
         1, ticksFromNs(spec_.scrubNsPerMb
                        * static_cast<double>(qb / miB)));
@@ -641,7 +778,7 @@ Cluster::fenceHost(std::uint32_t host, Tick now)
                     recoveredBytes_ += pool_->grant(h, share);
             }
         }
-        scrubPending_ = false;
+        // releaseQuarantined() ended the scrub pass in the ledger.
         ledgerAllOk_ = ledgerAllOk_ && pool_->ledgerOk()
                        && sw_->creditLedgerOk();
     });
@@ -665,7 +802,7 @@ Cluster::fenceCheck()
         }
         anyWork = true;
     }
-    if (anyWork || scrubPending_) {
+    if (anyWork || pool_->scrubbing()) {
         eq_.schedule(now + ticksFromNs(spec_.fenceCheckNs),
                      [this] { fenceCheck(); });
     } else {
@@ -712,6 +849,8 @@ Cluster::run()
     }
     if (watchdog_)
         watchdog_->arm();
+    if (sampler_)
+        sampler_->arm();
 
     const Tick limit =
         opts_.limitUs > 0.0 ? ticksFromUs(opts_.limitUs) : maxTick;
@@ -764,17 +903,117 @@ Cluster::run()
         res.hosts.push_back(std::move(r));
     }
     res.verdict = attributionVerdict();
+    if (board_)
+        res.fabric = board_->snapshot(res.endTick);
+    if (metrics_) {
+        metrics_->flush(res.endTick);
+        res.metricsRows = metrics_->rows();
+    }
+    // res.traceJson stays empty here: serializing a large trace is a
+    // consumer cost, paid via traceJson() by whoever actually writes
+    // the file (runPool), not by every armed run.
     return res;
+}
+
+std::string
+Cluster::exportTraceJson() const
+{
+    bool any = false;
+    for (const Host &H : hosts_)
+        any = any || H.tracer != nullptr;
+    if (!any)
+        return "";
+
+    std::string out;
+    std::size_t spans = 0;
+    for (const Host &H : hosts_)
+        if (H.tracer)
+            spans += H.tracer->completed().size();
+    out.reserve(spans * 9 * 140); // span + ~8 marks, ~140 B/event
+    bool first = true;
+    const auto meta = [&out, &first](int pid, const std::string &name) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+               + std::to_string(pid) + ",\"args\":{\"name\":\"" + name
+               + "\"}}";
+    };
+    const auto event = [&out, &first](const char *name, int pid,
+                                      unsigned tid, Tick ts, Tick dur,
+                                      std::uint64_t id, Addr addr,
+                                      const char *stage) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        char buf[256];
+        // ts/dur are microseconds with 6 decimals, i.e. the raw tick
+        // count split at 10^6 -- formatted in integer arithmetic
+        // because %.6f is the dominant cost of exporting a large
+        // trace (one export can carry tens of thousands of events).
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%llu.%06llu,"
+            "\"dur\":%llu.%06llu,\"pid\":%d,\"tid\":%u,"
+            "\"args\":{\"id\":%llu,\"addr\":%llu,\"stage\":\"%s\"}}",
+            name, static_cast<unsigned long long>(ts / 1000000),
+            static_cast<unsigned long long>(ts % 1000000),
+            static_cast<unsigned long long>(dur / 1000000),
+            static_cast<unsigned long long>(dur % 1000000), pid, tid,
+            static_cast<unsigned long long>(id),
+            static_cast<unsigned long long>(addr), stage);
+        out += buf;
+    };
+
+    // One track (pid) per host plus the shared fabric track: host-side
+    // stages land on the issuing host's track, switch-path stages on
+    // the fabric track with the port as the thread row.
+    meta(0, "fabric");
+    for (const Host &H : hosts_)
+        meta(1 + static_cast<int>(H.id),
+             "host" + std::to_string(H.id));
+
+    for (const Host &H : hosts_) {
+        if (!H.tracer)
+            continue;
+        const int hostPid = 1 + static_cast<int>(H.id);
+        for (const TraceSpan &span : H.tracer->completed()) {
+            // Host-scoped span ids stay unique in the merged file.
+            const std::uint64_t id =
+                (static_cast<std::uint64_t>(H.id + 1) << 32) | span.id;
+            event(memCmdName(span.cmd), hostPid, H.id, span.start,
+                  span.end - span.start, id, span.addr, "span");
+            for (std::size_t i = 0; i < span.marks.size(); ++i) {
+                const StageMark &m = span.marks[i];
+                const Tick until = i + 1 < span.marks.size()
+                                       ? span.marks[i + 1].at
+                                       : span.end;
+                const bool fab = isFabricStage(m.stage);
+                event(traceStageName(m.stage), fab ? 0 : hostPid,
+                      H.id, m.at, until > m.at ? until - m.at : 0, id,
+                      span.addr, traceStageName(m.stage));
+            }
+        }
+    }
+    return out;
 }
 
 std::string
 Cluster::attributionVerdict() const
 {
+    // The fabric regime rides behind the host-level verdict, so the
+    // leading "aggressor=..."/"no-aggressor..." forms are unchanged
+    // whether or not attribution is enabled.
+    std::string fabricSuffix;
+    if (board_) {
+        const Tick now = exec_ ? exec_->curTick() : eq_.curTick();
+        fabricSuffix = " " + board_->snapshot(now).verdict();
+    }
     std::uint64_t total = 0;
     for (std::uint32_t h = 0; h < spec_.hosts; ++h)
         total += sw_->portStats(h).reqBytes;
     if (total == 0)
-        return "no-traffic";
+        return "no-traffic" + fabricSuffix;
     std::uint32_t top = 0;
     for (std::uint32_t h = 1; h < spec_.hosts; ++h)
         if (sw_->portStats(h).reqBytes
@@ -816,7 +1055,7 @@ Cluster::attributionVerdict() const
         std::snprintf(buf, sizeof(buf), "no-aggressor max_share=%.2f",
                       share);
     }
-    return buf;
+    return buf + fabricSuffix;
 }
 
 void
@@ -831,8 +1070,26 @@ Cluster::inject(std::uint32_t host, MemCmd cmd, Addr hostAddr,
     op.addr = loc.addr;
     op.cmd = cmd;
     op.value = value;
-    op.done = [this, host, cmd, done = std::move(done)](
+    // Injected ops enter the switch directly; date the issue one port
+    // hop back so the fabric attribution bracket (which charges both
+    // port crossings to sw.wire) stays exact for them too.
+    const Tick pl = sw_->params().portLatency;
+    const Tick now = eq_.curTick();
+    op.issued = now >= pl ? now - pl : 0;
+    // Injected ops are traceable like workload traffic: litmus tests
+    // rely on the span timeline to audit fence containment.
+    TraceSpan *span = nullptr;
+    if (hosts_[host].tracer) {
+        span = hosts_[host].tracer->maybeStart(
+            static_cast<std::uint16_t>(host), cmd, hostAddr,
+            op.issued);
+        RequestTracer::mark(span, TraceStage::SwM2s, op.issued);
+    }
+    op.span = span;
+    op.done = [this, host, cmd, span, done = std::move(done)](
                   Tick d, CxlSwitch::Status st, std::uint64_t v) {
+        if (span)
+            hosts_[host].tracer->finish(span, d);
         const CxlSwitch::Status shaped = shapeStatus(host, cmd, st);
         if (done)
             done(d, shaped, v);

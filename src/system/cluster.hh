@@ -60,9 +60,13 @@
 
 #include "interconnect/poolmgr.hh"
 #include "interconnect/switch.hh"
+#include "sim/fabric_attrib.hh"
 #include "sim/histogram.hh"
+#include "sim/metrics.hh"
+#include "sim/observability.hh"
 #include "sim/parallel.hh"
 #include "sim/rng.hh"
+#include "sim/trace.hh"
 #include "sim/watchdog.hh"
 
 namespace cxlmemo
@@ -188,8 +192,22 @@ struct ClusterResult
     std::string watchdogReport;
 
     /** Attribution: names the aggressor host and the victim port, or
-     *  reports the absence of an aggressor. Comma-free (CSV cell). */
+     *  reports the absence of an aggressor; with fabric attribution
+     *  enabled, followed by the fabric bottleneck regime. Comma-free
+     *  (CSV cell). */
     std::string verdict;
+
+    /** Fabric attribution roll-up (empty unless obs.attribution). */
+    FabricSnapshot fabric;
+
+    /** Chrome trace events (comma-joined, no array wrapper). One
+     *  track per host plus a fabric track (pid 0). run() leaves this
+     *  empty -- serialization is a consumer cost -- and runPool()
+     *  fills it from Cluster::traceJson() when tracing is armed. */
+    std::string traceJson;
+
+    /** Interval-metrics CSV rows (empty unless obs.metricsInterval). */
+    std::string metricsRows;
 
     Tick endTick = 0;
 };
@@ -213,6 +231,13 @@ class Cluster
 
         /** Hard simulated-time limit (0 = run to quiesce). */
         double limitUs = 0.0;
+
+        /** Fabric observability (tracing / metrics / attribution).
+         *  All off by default; enabling any layer never changes
+         *  simulated results. Request-lifecycle tracing requires the
+         *  classic engine (simThreads == 0): spans are marked on both
+         *  the host and fabric domains. */
+        ObservabilityOptions obs;
     };
 
     explicit Cluster(const PoolSpec &spec);
@@ -232,6 +257,8 @@ class Cluster
     EventQueue &fabricQueue() { return eq_; }
     Watchdog *watchdog() { return watchdog_.get(); }
     ParallelExecutor *executor() { return exec_.get(); }
+    FabricBoard *fabricBoard() { return board_.get(); }
+    MetricsRegistry *metricsRegistry() { return metrics_.get(); }
 
     using InjectDone =
         std::function<void(Tick, CxlSwitch::Status, std::uint64_t)>;
@@ -248,6 +275,11 @@ class Cluster
     /** Drive the fabric queue (classic mode only). */
     bool runFabricUntil(Tick limit) { return eq_.runUntil(limit); }
 
+    /** Export every completed span as Chrome trace-event JSON (the
+     *  same document run() returns; litmus tests drive inject() +
+     *  runFabricUntil() and never call run()). */
+    std::string traceJson() const { return exportTraceJson(); }
+
     /** Poison ledger of @p host (host-window address -> count). */
     const std::map<Addr, std::uint64_t> &
     poisonLedger(std::uint32_t host) const;
@@ -261,6 +293,7 @@ class Cluster
         std::uint64_t target = 0;
         std::uint64_t valueHash = 0;
         Tick issueTick = 0; //!< of the op in flight
+        TraceSpan *span = nullptr; //!< trace span of the op in flight
     };
 
     struct Host
@@ -278,6 +311,9 @@ class Cluster
         LatencyHistogram readHist;
         double readLatSumNs = 0.0;
         Tick lastDoneTick = 0;
+        /** Per-host tracer: host-scoped span ids, deterministic
+         *  per-host sampling (null unless tracing is enabled). */
+        std::unique_ptr<RequestTracer> tracer;
     };
 
     EventQueue &hostQueue(std::uint32_t host);
@@ -300,11 +336,15 @@ class Cluster
     CxlSwitch::Status shapeStatus(std::uint32_t host, MemCmd cmd,
                                   CxlSwitch::Status st);
     void submitFromHost(std::uint32_t host, MemCmd cmd, Addr hostAddr,
-                        std::uint64_t value, CxlSwitch::Done done);
+                        std::uint64_t value, Tick issued,
+                        TraceSpan *span, CxlSwitch::Done done);
     void fenceCheck();
     void fenceHost(std::uint32_t host, Tick now);
     std::uint64_t missValue(std::uint32_t dev, Addr addr) const;
     std::string attributionVerdict() const;
+    void setupObservability();
+    void registerMetrics();
+    std::string exportTraceJson() const;
 
     PoolSpec spec_;
     Options opts_;
@@ -317,6 +357,11 @@ class Cluster
     std::unique_ptr<CxlSwitch> sw_;
     std::unique_ptr<PoolManager> pool_;
     std::unique_ptr<Watchdog> watchdog_;
+
+    /* Observability (all null when the matching knob is off). */
+    std::unique_ptr<FabricBoard> board_;
+    std::unique_ptr<MetricsRegistry> metrics_;
+    std::unique_ptr<MetricsSampler> sampler_;
 
     /** Functional line store, [device] addr -> last written value.
      *  Committed at device completion on the fabric queue. */
@@ -331,7 +376,6 @@ class Cluster
     std::vector<std::uint64_t> poisonCtr_;
     Tick crashTick_ = 0;
     Tick fencedAt_ = 0;
-    bool scrubPending_ = false;
     bool checkerArmed_ = false;
     bool ledgerAllOk_ = true;
     std::uint64_t quarantinedBytes_ = 0;

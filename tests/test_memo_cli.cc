@@ -7,6 +7,7 @@
 
 #include "memo/cli.hh"
 #include "sim/attribution.hh"
+#include "sim/fabric_attrib.hh"
 
 namespace cxlmemo
 {
@@ -554,9 +555,87 @@ TEST(MemoCli, PoolCsvHeaderIsStableAndPerHost)
           "time_to_fence_ns", "quarantined_mb", "recovered_mb",
           "ledger_ok", "isolation_ok", "verdict"})
         EXPECT_NE(h.find(col), std::string::npos) << col;
-    // Pool rows are their own tier: the observability column groups
-    // of the single-machine modes never widen them.
-    EXPECT_EQ(h, csvHeader(CliMode::Pool, true, true, true, true));
+    // Pool rows are their own tier: the machine-level RAS/QoS/hist
+    // column groups never widen them; only --attrib does (below).
+    EXPECT_EQ(h, csvHeader(CliMode::Pool, true, true, true, false));
+}
+
+TEST(MemoCli, PoolCsvHeaderGrowsFabricTierWithAttrib)
+{
+    // --attrib appends the fabric tier after the stable pool header:
+    // a queue/service/utilization triplet per switch station plus the
+    // cross-fabric stack summary. Attrib-off output is untouched.
+    const std::string base =
+        csvHeader(CliMode::Pool, false, false, false, false);
+    const std::string fab =
+        csvHeader(CliMode::Pool, false, false, false, true);
+    EXPECT_EQ(fab.compare(0, base.size(), base), 0) << fab;
+    EXPECT_EQ(columns(fab), columns(base) + 3 * numFabricStations + 5);
+    for (const char *col :
+         {",sw_credit_wait_q_ns", ",sw_voq_wait_q_ns", ",sw_arb_s_ns",
+          ",sw_wire_util", ",sw_dev_service_util", ",fabric_reqs",
+          ",fabric_total_ns", ",fabric_other_ns", ",fabric_little_ok",
+          ",fabric_decomp_exact"})
+        EXPECT_NE(fab.find(col), std::string::npos) << col;
+}
+
+/* ----------------- observability flag matrix --------------------- */
+
+TEST(MemoCli, TraceFlagsRequireClassicEngine)
+{
+    // Request-lifecycle tracing rides the single-queue engine in
+    // every mode; the parallel engine must be rejected at parse time
+    // with a one-line error, not deep in the run.
+    for (const char *mode : {"seq", "pool", "drill", "report"}) {
+        std::string err;
+        std::vector<std::string> v{"--mode", mode, "--trace-out",
+                                   "t.json", "--sim-threads", "2"};
+        EXPECT_FALSE(parseCli(v, err).has_value()) << mode;
+        EXPECT_NE(err.find("--sim-threads 0"), std::string::npos)
+            << err;
+        err.clear();
+        v = {"--mode", mode, "--trace-sample", "8", "--sim-threads",
+             "4"};
+        EXPECT_FALSE(parseCli(v, err).has_value()) << mode;
+        EXPECT_NE(err.find("--sim-threads 0"), std::string::npos)
+            << err;
+    }
+    // --sim-threads 0 (explicit or default) stays accepted.
+    EXPECT_TRUE(parse({"--mode", "pool", "--trace-out", "t.json",
+                       "--sim-threads", "0"}));
+    EXPECT_TRUE(parse({"--mode", "pool", "--trace-out", "t.json"}));
+}
+
+TEST(MemoCli, PoolModeRejectsHistograms)
+{
+    std::string err;
+    std::vector<std::string> v{"--mode", "pool", "--histograms"};
+    EXPECT_FALSE(parseCli(v, err).has_value());
+    EXPECT_NE(err.find("pool mode"), std::string::npos) << err;
+    // Every machine-level mode keeps accepting it.
+    for (const char *mode : {"seq", "rand", "loaded", "drill"})
+        EXPECT_TRUE(parse({"--mode", mode, "--histograms"})) << mode;
+}
+
+TEST(MemoCli, PoolModeAcceptsFabricObservability)
+{
+    // The supported pool-mode combinations: --attrib, --trace-out,
+    // --metrics-out (classic engine), alone and together.
+    const auto cfg =
+        parse({"--mode", "pool", "--pool-spec", "hosts=2,ops=100",
+               "--attrib", "--trace-out", "t.json", "--metrics-out",
+               "m.csv"});
+    ASSERT_TRUE(cfg);
+    const ObservabilityOptions obs = cfg->observability();
+    EXPECT_TRUE(obs.attribution);
+    EXPECT_EQ(obs.traceSampleEvery, 64u);
+    EXPECT_EQ(obs.metricsInterval, ticksFromNs(1000.0));
+    // --attrib composes with the parallel engine (attribution is
+    // fabric-domain-only); only tracing is classic-engine-bound.
+    EXPECT_TRUE(parse({"--mode", "pool", "--attrib", "--sim-threads",
+                       "4"}));
+    EXPECT_TRUE(parse({"--mode", "pool", "--metrics-out", "m.csv",
+                       "--sim-threads", "4"}));
 }
 
 } // namespace

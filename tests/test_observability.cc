@@ -14,10 +14,14 @@
 #include <vector>
 
 #include "cpu/streams.hh"
+#include "interconnect/switch.hh"
 #include "memo/memo.hh"
+#include "sim/chaos.hh"
+#include "sim/fabric_attrib.hh"
 #include "sim/histogram.hh"
 #include "sim/metrics.hh"
 #include "sim/stats.hh"
+#include "sim/statmerge.hh"
 #include "sim/sweep.hh"
 #include "sim/trace.hh"
 #include "sim/watchdog.hh"
@@ -307,8 +311,10 @@ TEST(MetricsRegistry, DeltasConserveTotals)
     const auto sums = sumRows(r.rows());
     EXPECT_DOUBLE_EQ(sums.at({"x.count", "delta"}), 12.0);
     EXPECT_DOUBLE_EQ(sums.at({"x.count", "total"}), 12.0);
-    // flush() takes one last snapshot, so gauges are sampled thrice.
-    EXPECT_DOUBLE_EQ(sums.at({"x.level", "gauge"}), 6.5);
+    // The timeline is a change log: the gauge is emitted at its
+    // first sample and whenever it moves, so the unchanged flush
+    // sample (2.5 again) is elided -- 1.5 + 2.5.
+    EXPECT_DOUBLE_EQ(sums.at({"x.level", "gauge"}), 4.0);
     EXPECT_EQ(r.snapshots(), 3u);
 }
 
@@ -433,6 +439,198 @@ TEST(MachineObservability, TraceCollectionDeterministicAcrossJobs)
     const std::string one = run(1);
     EXPECT_FALSE(one.empty());
     EXPECT_EQ(one, run(4));
+}
+
+/* --------------------- shared merge helpers ---------------------- */
+
+/** The two statmerge rules every mergeable stats struct is built
+ *  from. Counters fold with +=, one-shot timestamps with max; both
+ *  are associative with identity 0, so any member list composed of
+ *  them merges associatively -- the per-struct tests below then only
+ *  need to exercise representative real structs. */
+TEST(StatMerge, CounterAndTimestampRulesAreAssociative)
+{
+    struct S
+    {
+        std::uint64_t n = 0;
+        Tick at = 0;
+    };
+    const auto merge = [](S into, const S &from) {
+        mergeCounters(into, from, &S::n);
+        mergeTimestamps(into, from, &S::at);
+        return into;
+    };
+    const S a{3, 100}, b{5, 0}, c{7, 250};
+    const S left = merge(merge(a, b), c);
+    const S right = merge(a, merge(b, c));
+    EXPECT_EQ(left.n, 15u);
+    EXPECT_EQ(left.at, 250u);
+    EXPECT_EQ(left.n, right.n);
+    EXPECT_EQ(left.at, right.at);
+    // Identity: merging a default S changes nothing.
+    const S id = merge(a, S{});
+    EXPECT_EQ(id.n, a.n);
+    EXPECT_EQ(id.at, a.at);
+}
+
+TEST(StatMerge, SwitchPortStatsMergeIsAssociative)
+{
+    auto mk = [](std::uint64_t k, Tick down, Tick fence) {
+        SwitchPortStats s;
+        s.reqs = k;
+        s.reads = k / 2;
+        s.writes = k - k / 2;
+        s.reqBytes = 64 * k;
+        s.responses = k;
+        s.poisoned = k / 7;
+        s.aborted = k / 5;
+        s.abortedInFlight = k / 11;
+        s.droppedResponses = k / 13;
+        s.creditStalls = 2 * k;
+        s.creditStallTicks = 17 * k;
+        s.heldWhileDown = k / 3;
+        s.downs = k > 0 ? 1 : 0;
+        s.retrains = k > 1 ? 1 : 0;
+        s.downAt = down;
+        s.upAt = down ? down + 500 : 0;
+        s.fencedAt = fence;
+        return s;
+    };
+    const SwitchPortStats a = mk(40, 1000, 0);
+    const SwitchPortStats b = mk(7, 0, 9000);
+    const SwitchPortStats c = mk(23, 4000, 0);
+
+    SwitchPortStats left = a;
+    left.merge(b);
+    left.merge(c);
+    SwitchPortStats bc = b;
+    bc.merge(c);
+    SwitchPortStats right = a;
+    right.merge(bc);
+
+    EXPECT_EQ(left.reqs, 70u);
+    EXPECT_EQ(left.reqBytes, 64u * 70u);
+    EXPECT_EQ(left.downAt, 4000u);  // later outage wins
+    EXPECT_EQ(left.fencedAt, 9000u);
+    for (auto m :
+         {&SwitchPortStats::reqs, &SwitchPortStats::reads,
+          &SwitchPortStats::writes, &SwitchPortStats::reqBytes,
+          &SwitchPortStats::responses, &SwitchPortStats::poisoned,
+          &SwitchPortStats::aborted, &SwitchPortStats::abortedInFlight,
+          &SwitchPortStats::droppedResponses,
+          &SwitchPortStats::creditStalls,
+          &SwitchPortStats::creditStallTicks,
+          &SwitchPortStats::heldWhileDown, &SwitchPortStats::downs,
+          &SwitchPortStats::retrains})
+        EXPECT_EQ(left.*m, right.*m);
+    EXPECT_EQ(left.downAt, right.downAt);
+    EXPECT_EQ(left.upAt, right.upAt);
+    EXPECT_EQ(left.fencedAt, right.fencedAt);
+}
+
+TEST(StatMerge, ChaosStatsMergeIsAssociative)
+{
+    auto mk = [](std::uint64_t k, Tick at) {
+        ChaosStats s;
+        s.linkDowns = k;
+        s.retrains = k;
+        s.blockedMsgs = 3 * k;
+        s.abortedReads = k / 2;
+        s.poisonEvents = k / 3;
+        s.pagesOfflined = k / 4;
+        s.dataAtRiskBytes = 4096 * k;
+        s.linkDownAt = at;
+        s.removeAt = at ? at + 10 : 0;
+        return s;
+    };
+    const ChaosStats a = mk(5, 700), b = mk(2, 0), c = mk(9, 300);
+    ChaosStats left = a;
+    left.merge(b);
+    left.merge(c);
+    ChaosStats bc = b;
+    bc.merge(c);
+    ChaosStats right = a;
+    right.merge(bc);
+    EXPECT_EQ(left.linkDowns, right.linkDowns);
+    EXPECT_EQ(left.blockedMsgs, right.blockedMsgs);
+    EXPECT_EQ(left.dataAtRiskBytes, right.dataAtRiskBytes);
+    EXPECT_EQ(left.linkDownAt, right.linkDownAt);
+    EXPECT_EQ(left.linkDownAt, 700u);
+    EXPECT_EQ(left.removeAt, right.removeAt);
+}
+
+/** Drive a FabricBoard with synthetic accounting so the snapshot has
+ *  every integer field populated. */
+FabricSnapshot
+fabricShard(std::uint64_t seed, Tick horizon)
+{
+    FabricBoard b(2, 1, 0);
+    std::uint64_t x = seed;
+    for (int i = 0; i < 20; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const std::uint32_t port = static_cast<std::uint32_t>(x & 1);
+        const Tick t0 = (x >> 8) % (horizon / 2);
+        const Tick q = (x >> 24) % 50;
+        const Tick s = 10 + (x >> 32) % 40;
+        b.beginRequest(port, t0);
+        b.station(port, FabricStation::VoqWait)
+            .passThrough(q, 0, 0, true, t0 + q);
+        b.station(port, FabricStation::DevService)
+            .passThrough(0, s, s, true, t0 + q + s);
+        b.completeRequest(port, t0, t0 + q + s);
+    }
+    return b.snapshot(horizon);
+}
+
+void
+expectSnapEq(const FabricSnapshot &l, const FabricSnapshot &r)
+{
+    ASSERT_EQ(l.ports.size(), r.ports.size());
+    EXPECT_EQ(l.elapsed, r.elapsed);
+    for (std::size_t p = 0; p < l.ports.size(); ++p) {
+        EXPECT_EQ(l.ports[p].reqCount, r.ports[p].reqCount);
+        EXPECT_EQ(l.ports[p].totalTicks, r.ports[p].totalTicks);
+        for (std::size_t i = 0; i < numFabricStations; ++i) {
+            const StationSnap &a = l.ports[p].st[i];
+            const StationSnap &b = r.ports[p].st[i];
+            EXPECT_EQ(a.enters, b.enters) << "port " << p << " st " << i;
+            EXPECT_EQ(a.exits, b.exits);
+            EXPECT_EQ(a.queueTicks, b.queueTicks);
+            EXPECT_EQ(a.serviceTicks, b.serviceTicks);
+            EXPECT_EQ(a.busyTicks, b.busyTicks);
+            EXPECT_EQ(a.occIntegral, b.occIntegral);
+            EXPECT_EQ(a.stackQueueTicks, b.stackQueueTicks);
+            EXPECT_EQ(a.stackServiceTicks, b.stackServiceTicks);
+        }
+    }
+}
+
+TEST(StatMerge, FabricSnapshotMergeIsExactAndAssociative)
+{
+    const FabricSnapshot a = fabricShard(1, 10000);
+    const FabricSnapshot b = fabricShard(2, 8000);
+    const FabricSnapshot c = fabricShard(3, 12000);
+
+    FabricSnapshot left = a;
+    left.merge(b);
+    left.merge(c);
+    FabricSnapshot bc = b;
+    bc.merge(c);
+    FabricSnapshot right = a;
+    right.merge(bc);
+    expectSnapEq(left, right);
+    EXPECT_EQ(left.elapsed, 30000u); // shard windows add
+
+    // The cluster-wide roll-up is the same merge applied across
+    // ports, so it distributes over the shard merge.
+    FabricPortSnap roll = a.cluster();
+    roll.merge(b.cluster());
+    roll.merge(c.cluster());
+    const FabricPortSnap whole = left.cluster();
+    EXPECT_EQ(roll.reqCount, whole.reqCount);
+    EXPECT_EQ(roll.totalTicks, whole.totalTicks);
+    EXPECT_EQ(roll.stackTicks(), whole.stackTicks());
+    EXPECT_TRUE(whole.decompositionExact());
 }
 
 /** Minimal wedged progress source used to trip the watchdog. */

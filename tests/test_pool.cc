@@ -8,10 +8,19 @@
  * byte-identical results at every --sim-threads count, exact --jobs
  * merges, the cross-host fairness regression pin, and the watchdog
  * post-mortem naming the stuck switch port.
+ *
+ * Fabric observability rides the same scenarios: exact per-port
+ * latency decomposition with a Little's-law self-test, the cluster
+ * bottleneck verdict, cross-host trace timelines (including the
+ * fence-containment litmus), and the conserving metrics timeline --
+ * all bit-identical when disabled and byte-identical at every
+ * --sim-threads count.
  */
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -378,6 +387,285 @@ TEST(Pool, WatchdogStaysQuietOnAHealthyDrill)
     const auto r = c.run();
     EXPECT_FALSE(r.watchdogTripped) << r.watchdogReport;
     EXPECT_TRUE(r.ledgerOk);
+}
+
+/* -------------------- fabric attribution ------------------------- */
+
+/** Field-exact comparison of two fabric snapshots (integer sums, so
+ *  byte-identity across engines and thread counts is well-defined). */
+void
+expectFabricEq(const FabricSnapshot &l, const FabricSnapshot &r)
+{
+    ASSERT_EQ(l.ports.size(), r.ports.size());
+    EXPECT_EQ(l.elapsed, r.elapsed);
+    for (std::size_t p = 0; p < l.ports.size(); ++p) {
+        EXPECT_EQ(l.ports[p].reqCount, r.ports[p].reqCount) << p;
+        EXPECT_EQ(l.ports[p].totalTicks, r.ports[p].totalTicks) << p;
+        for (std::size_t i = 0; i < numFabricStations; ++i) {
+            const StationSnap &a = l.ports[p].st[i];
+            const StationSnap &b = r.ports[p].st[i];
+            EXPECT_EQ(a.enters, b.enters) << p << "/" << i;
+            EXPECT_EQ(a.exits, b.exits) << p << "/" << i;
+            EXPECT_EQ(a.queueTicks, b.queueTicks) << p << "/" << i;
+            EXPECT_EQ(a.serviceTicks, b.serviceTicks) << p << "/" << i;
+            EXPECT_EQ(a.busyTicks, b.busyTicks) << p << "/" << i;
+            EXPECT_EQ(a.occIntegral, b.occIntegral) << p << "/" << i;
+            EXPECT_EQ(a.stackQueueTicks, b.stackQueueTicks)
+                << p << "/" << i;
+            EXPECT_EQ(a.stackServiceTicks, b.stackServiceTicks)
+                << p << "/" << i;
+        }
+    }
+}
+
+TEST(PoolFabric, CleanRunDecomposesToTheTick)
+{
+    // The §13 contract extended across the fabric: on a clean run
+    // every port's station stack reconstructs its measured cross-
+    // fabric latency exactly -- zero residual, in integer ticks --
+    // and the credit/VOQ occupancy integrals pass Little's law.
+    PoolSpec sp;
+    sp.hosts = 3;
+    sp.ops = 1500;
+    memo::Options o;
+    o.obs.attribution = true;
+    const auto r = runPool(sp, o);
+    const FabricSnapshot &f = r.cluster.fabric;
+    ASSERT_TRUE(f.enabled());
+    ASSERT_EQ(f.ports.size(), 3u);
+    for (const FabricPortSnap &p : f.ports) {
+        EXPECT_EQ(p.reqCount, sp.ops);
+        EXPECT_GT(p.totalTicks, 0u);
+        EXPECT_EQ(p.stackTicks(), p.totalTicks); // zero residual
+        EXPECT_EQ(p.otherTicks(), 0u);
+        EXPECT_TRUE(p.decompositionExact());
+        EXPECT_TRUE(p.littleOk(f.elapsed));
+    }
+    EXPECT_TRUE(f.decompositionExact());
+    EXPECT_TRUE(f.littleOk());
+    // Cluster-wide roll-up is the same merge across ports.
+    const FabricPortSnap all = f.cluster();
+    EXPECT_EQ(all.reqCount, 3u * sp.ops);
+    EXPECT_EQ(all.stackTicks(), all.totalTicks);
+    EXPECT_TRUE(all.littleOk(f.elapsed));
+    // The table names every station for the human report.
+    const std::string tbl = f.table();
+    EXPECT_NE(tbl.find("sw.voq_wait"), std::string::npos) << tbl;
+    EXPECT_NE(tbl.find("sw.dev_service"), std::string::npos) << tbl;
+}
+
+TEST(PoolFabric, DisturbedRunKeepsResidualNonNegative)
+{
+    // Crashes, fences and port outages land in the residual, never
+    // in a negative stack: the decomposition inequality holds for
+    // every request including aborted and held-while-down ones.
+    memo::Options o;
+    o.obs.attribution = true;
+    const auto r = runPool(drillSpec(), o);
+    const FabricSnapshot &f = r.cluster.fabric;
+    ASSERT_TRUE(f.enabled());
+    EXPECT_TRUE(f.decompositionExact());
+    EXPECT_TRUE(f.littleOk());
+    EXPECT_GT(f.cluster().reqCount, 0u);
+}
+
+TEST(PoolFabric, DisabledPathIsBitIdentical)
+{
+    // Attribution must observe, never perturb: the simulated results
+    // are identical with the board on or off, and the off run keeps
+    // the exact pre-fabric verdict string (no fabric suffix).
+    const PoolSpec sp = drillSpec();
+    memo::Options on;
+    on.obs.attribution = true;
+    const auto a = runPool(sp, on);
+    const auto b = runPool(sp);
+    ASSERT_EQ(a.cluster.hosts.size(), b.cluster.hosts.size());
+    for (std::size_t h = 0; h < a.cluster.hosts.size(); ++h)
+        EXPECT_EQ(a.cluster.hosts[h].digest, b.cluster.hosts[h].digest);
+    EXPECT_EQ(a.cluster.endTick, b.cluster.endTick);
+    EXPECT_DOUBLE_EQ(a.cluster.timeToFenceNs, b.cluster.timeToFenceNs);
+    EXPECT_FALSE(b.cluster.fabric.enabled());
+    EXPECT_EQ(b.cluster.verdict.find("fabric="), std::string::npos)
+        << b.cluster.verdict;
+    // The armed run appends the fabric regime behind the unchanged
+    // host-level verdict.
+    EXPECT_EQ(a.cluster.verdict.compare(0, b.cluster.verdict.size(),
+                                        b.cluster.verdict),
+              0)
+        << a.cluster.verdict;
+    EXPECT_NE(a.cluster.verdict.find(" fabric="), std::string::npos)
+        << a.cluster.verdict;
+}
+
+TEST(PoolFabric, SnapshotByteIdenticalAtEverySimThreadCount)
+{
+    const PoolSpec sp = drillSpec();
+    auto runAt = [&sp](std::uint32_t threads) {
+        Cluster::Options o;
+        o.simThreads = threads;
+        o.obs.attribution = true;
+        Cluster c(sp, o);
+        return c.run();
+    };
+    const ClusterResult ref = runAt(1);
+    ASSERT_TRUE(ref.fabric.enabled());
+    for (std::uint32_t t : {2u, 8u}) {
+        const ClusterResult par = runAt(t);
+        expectFabricEq(par.fabric, ref.fabric);
+        EXPECT_EQ(par.verdict, ref.verdict);
+    }
+}
+
+TEST(PoolFabric, VerdictNamesAggressorHostAndHotPort)
+{
+    // The PR 8 fairness scenario, now with the fabric regime behind
+    // it: the share test still names the aggressor host, and the
+    // fabric tier names its congested port.
+    std::string err;
+    const auto sp = PoolSpec::parse(
+        "hosts=2,ops=4000,aggressor=1,credits=8", err);
+    ASSERT_TRUE(sp.has_value()) << err;
+    memo::Options o;
+    o.obs.attribution = true;
+    const auto r = runPool(*sp, o);
+    const std::string &v = r.cluster.verdict;
+    EXPECT_NE(v.find("aggressor=host1"), std::string::npos) << v;
+    EXPECT_NE(v.find("victim=host0"), std::string::npos) << v;
+    EXPECT_NE(v.find(" fabric="), std::string::npos) << v;
+    EXPECT_NE(v.find("hot=port1"), std::string::npos) << v;
+    EXPECT_EQ(r.cluster.fabric.hotPort(), 1u);
+}
+
+/* ---------------------- cross-host tracing ----------------------- */
+
+TEST(PoolTrace, RequiresClassicEngine)
+{
+    PoolSpec sp;
+    sp.hosts = 2;
+    Cluster::Options o;
+    o.simThreads = 2;
+    o.obs.traceSampleEvery = 1;
+    EXPECT_THROW(Cluster(sp, o), std::invalid_argument);
+}
+
+TEST(PoolTrace, TimelineSpansIssueToResponseAcrossTracks)
+{
+    PoolSpec sp;
+    sp.hosts = 2;
+    sp.ops = 300;
+    memo::Options o;
+    o.obs.traceSampleEvery = 1;
+    const auto r = runPool(sp, o);
+    const std::string &j = r.cluster.traceJson;
+    ASSERT_FALSE(j.empty());
+    // One named track per host plus the fabric track.
+    EXPECT_NE(j.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(j.find("\"name\":\"fabric\""), std::string::npos);
+    EXPECT_NE(j.find("\"name\":\"host0\""), std::string::npos);
+    EXPECT_NE(j.find("\"name\":\"host1\""), std::string::npos);
+    // The switch path is staged on the fabric track: port ingress,
+    // VOQ, crossbar, device service, egress, response delivery.
+    for (const char *stage :
+         {"sw_m2s", "sw_voq", "sw_xbar", "sw_dev", "sw_egress",
+          "sw_s2m"})
+        EXPECT_NE(j.find(stage), std::string::npos) << stage;
+    // A clean run never aborts anything.
+    EXPECT_EQ(j.find("sw_fence_abort"), std::string::npos);
+}
+
+TEST(PoolTrace, VictimSpansNeverCarryAnotherHostsFence)
+{
+    // Litmus for span containment: flood host 1 behind a one-credit
+    // gate so a standing queue exists, fence its port mid-flight, and
+    // let host 0 read concurrently. Host 1's spans end in
+    // sw_fence_abort; host 0's spans must never contain that stage
+    // (tid on fabric events is the owning port).
+    std::string err;
+    const auto sp = PoolSpec::parse("hosts=2,credits=1", err);
+    ASSERT_TRUE(sp.has_value()) << err;
+    Cluster::Options o;
+    o.obs.traceSampleEvery = 1;
+    Cluster c(*sp, o);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        c.inject(1, MemCmd::Write, 64 * i, i, nullptr);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        c.inject(0, MemCmd::Read, 64 * i, 0, nullptr);
+    c.fabricQueue().schedule(ticksFromNs(60.0), [&c]() {
+        c.fabric().fencePort(1, ContainPolicy::Abort);
+    });
+    c.runFabricUntil(ticksFromUs(100.0));
+
+    const std::string j = c.traceJson();
+    ASSERT_FALSE(j.empty());
+    ASSERT_NE(j.find("sw_fence_abort"), std::string::npos) << j;
+    std::istringstream is(j);
+    std::string line;
+    bool fencedHost1 = false;
+    while (std::getline(is, line)) {
+        if (line.find("sw_fence_abort") == std::string::npos)
+            continue;
+        EXPECT_EQ(line.find("\"tid\":0"), std::string::npos) << line;
+        if (line.find("\"tid\":1") != std::string::npos)
+            fencedHost1 = true;
+    }
+    EXPECT_TRUE(fencedHost1) << j;
+}
+
+/* ----------------------- fabric metrics -------------------------- */
+
+TEST(PoolMetrics, TimelineConservesEveryCounter)
+{
+    // The interval timeline's deltas must sum to the final totals for
+    // every fabric counter (exact conservation, same contract as the
+    // machine-level registry).
+    memo::Options o;
+    o.obs.metricsInterval = ticksFromNs(1000.0);
+    const auto r = runPool(drillSpec(), o);
+    const std::string &rows = r.cluster.metricsRows;
+    ASSERT_FALSE(rows.empty());
+    std::map<std::string, std::uint64_t> delta, total;
+    std::istringstream is(rows);
+    std::string line;
+    while (std::getline(is, line)) {
+        std::istringstream ls(line);
+        std::string t, name, kind, value;
+        std::getline(ls, t, ',');
+        std::getline(ls, name, ',');
+        std::getline(ls, kind, ',');
+        std::getline(ls, value, ',');
+        if (kind == "delta")
+            delta[name] += std::stoull(value);
+        else if (kind == "total")
+            total[name] = std::stoull(value);
+    }
+    ASSERT_FALSE(total.empty());
+    for (const auto &[name, tot] : total)
+        EXPECT_EQ(delta[name], tot) << "metric " << name;
+    // Per-port switch counters and the pool ledger both report.
+    EXPECT_GT(total.at("sw.p0.reqs"), 0u);
+    EXPECT_GT(total.at("sw.p3.reqs"), 0u);
+    EXPECT_GT(total.at("pool.granted_bytes_total"), 0u);
+    // Gauges ride the same timeline.
+    EXPECT_NE(rows.find("pool.free_bytes,gauge"), std::string::npos);
+    EXPECT_NE(rows.find("sw.p0.voq_depth,gauge"), std::string::npos);
+    EXPECT_NE(rows.find("pool.time_to_fence_ns,gauge"),
+              std::string::npos);
+}
+
+TEST(PoolMetrics, RowsIdenticalAcrossSimThreadCounts)
+{
+    const PoolSpec sp = drillSpec();
+    auto rowsAt = [&sp](std::uint32_t threads) {
+        Cluster::Options o;
+        o.simThreads = threads;
+        o.obs.metricsInterval = ticksFromNs(1000.0);
+        Cluster c(sp, o);
+        return c.run().metricsRows;
+    };
+    const std::string ref = rowsAt(1);
+    ASSERT_FALSE(ref.empty());
+    EXPECT_EQ(rowsAt(2), ref);
+    EXPECT_EQ(rowsAt(8), ref);
 }
 
 } // namespace
