@@ -2,13 +2,16 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 
+#include "memo/diff.hh"
 #include "sim/attribution.hh"
 #include "sim/fabric_attrib.hh"
 #include "sim/histogram.hh"
 #include "sim/sweep.hh"
+#include "sim/tailcap.hh"
 #include "sim/trace.hh"
 
 namespace cxlmemo
@@ -64,6 +67,8 @@ parseMode(const std::string &s)
         return CliMode::Drill;
     if (s == "pool")
         return CliMode::Pool;
+    if (s == "diff")
+        return CliMode::Diff;
     if (s == "help")
         return CliMode::Help;
     return std::nullopt;
@@ -204,6 +209,12 @@ cliUsage()
         "            is observable: per-port switch-station\n"
         "            attribution, cross-host Perfetto traces and a\n"
         "            cluster bottleneck verdict\n"
+        "  diff      differential regression verdict over two runs:\n"
+        "            memo diff A.csv B.csv loads two --csv outputs\n"
+        "            (attribution and/or histogram tiers), computes\n"
+        "            per-station deltas of the exact latency stack\n"
+        "            and names the station that moved the tail\n"
+        "            (--json for a machine-readable CI gate)\n"
         "\n"
         "options:\n"
         "  --target  ddr5-l8 | ddr5-r1 | cxl         (default ddr5-l8)\n"
@@ -265,11 +276,22 @@ cliUsage()
         "  --metrics-interval-ns N   metrics snapshot interval\n"
         "                (default 1000 when --metrics-out is given)\n"
         "  --histograms  per-component latency histograms (extra CSV\n"
-        "                columns / report lines; not in pool mode)\n"
+        "                columns / report lines; in pool mode, per-host\n"
+        "                lat_* columns over the read-latency histogram)\n"
         "  --attrib      exhaustive latency accounting: per-station\n"
         "                queue/service/utilization columns, the\n"
         "                demand-read latency stack and an automatic\n"
         "                bottleneck verdict (implied by --mode report)\n"
+        "  --tail-trace K   worst-K outlier capture: every completed\n"
+        "                demand read competes for the K worst per\n"
+        "                regime class (local/remote/cxl/fabric), kept\n"
+        "                with the full per-stage bracket -- tail_*\n"
+        "                CSV columns, a dedicated tail track in\n"
+        "                --trace-out, and the watchdog post-mortem\n"
+        "                (works with --sim-threads and in pool mode)\n"
+        "  --json        diff mode: machine-readable JSON verdict\n"
+        "  --diff-threshold P   diff mode: no-change band in percent\n"
+        "                (default 5)\n"
         "\n"
         "  --opt=value is accepted everywhere --opt value is.\n";
 }
@@ -286,6 +308,7 @@ CliConfig::observability() const
     }
     obs.latencyHistograms = histograms;
     obs.attribution = attrib || mode == CliMode::Report;
+    obs.tailK = tailK;
     return obs;
 }
 
@@ -310,6 +333,8 @@ parseCli(const std::vector<std::string> &rawArgs, std::string &error)
 
     CliConfig cfg;
     bool sawPoolSpec = false;
+    bool sawJson = false;
+    bool sawThreshold = false;
     auto need = [&](std::size_t i) -> std::optional<std::string> {
         if (i + 1 >= args.size()) {
             error = "missing value after " + args[i];
@@ -602,10 +627,52 @@ parseCli(const std::vector<std::string> &rawArgs, std::string &error)
             cfg.histograms = true;
         } else if (a == "--attrib") {
             cfg.attrib = true;
+        } else if (a == "--tail-trace") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            auto k = parseSize(*v);
+            if (!k || *k == 0 || *k > 1024) {
+                error = "bad tail-trace depth (1..1024): " + *v;
+                return std::nullopt;
+            }
+            cfg.tailK = static_cast<std::uint32_t>(*k);
+            ++i;
+        } else if (a == "--json") {
+            cfg.diffJson = true;
+            sawJson = true;
+        } else if (a == "--diff-threshold") {
+            auto v = need(i);
+            if (!v)
+                return std::nullopt;
+            char *end = nullptr;
+            const double t = std::strtod(v->c_str(), &end);
+            if (v->empty() || end == nullptr || *end != '\0'
+                || !(t >= 0.0) || t > 100.0) {
+                error = "bad diff-threshold (percent, 0..100): " + *v;
+                return std::nullopt;
+            }
+            cfg.diffThresholdPct = t;
+            sawThreshold = true;
+            ++i;
         } else if (a == "--prefetch") {
             cfg.prefetch = true;
         } else if (a == "--csv") {
             cfg.csv = true;
+        } else if (a == "diff" && i == 0) {
+            // `memo diff A.csv B.csv` -- the comparison verb reads
+            // better up front than `--mode diff`.
+            cfg.mode = CliMode::Diff;
+        } else if (cfg.mode == CliMode::Diff && !a.empty()
+                   && a[0] != '-') {
+            if (cfg.diffA.empty()) {
+                cfg.diffA = a;
+            } else if (cfg.diffB.empty()) {
+                cfg.diffB = a;
+            } else {
+                error = "diff takes exactly two files: " + a;
+                return std::nullopt;
+            }
         } else {
             error = "unknown argument: " + a;
             return std::nullopt;
@@ -630,17 +697,40 @@ parseCli(const std::vector<std::string> &rawArgs, std::string &error)
     // Flag matrix, rejected up front with one line instead of a
     // mid-run throw: request-lifecycle tracing marks spans across
     // domains, so it needs the classic single-queue engine in every
-    // mode; pool mode has per-host read histograms built into its
-    // rows, the machine-level histogram columns do not apply.
+    // mode. Worst-K tail capture (--tail-trace) is completion-order
+    // independent and works on both engines. Diff mode compares
+    // finished runs -- it simulates nothing, so every simulation
+    // flag is a mistake worth naming rather than ignoring.
     if (cfg.simThreads > 0
         && (!cfg.traceOut.empty() || cfg.traceSampleEvery > 0)) {
         error = "--trace-out/--trace-sample require --sim-threads 0";
         return std::nullopt;
     }
-    if (cfg.mode == CliMode::Pool && cfg.histograms) {
-        error = "pool mode does not support --histograms (per-host "
-                "read latency is built into the rows)";
-        return std::nullopt;
+    if (cfg.mode == CliMode::Diff) {
+        if (cfg.diffA.empty() || cfg.diffB.empty()) {
+            error = "diff requires two CSV files "
+                    "(memo diff A.csv B.csv)";
+            return std::nullopt;
+        }
+        if (cfg.tailK > 0 || cfg.histograms || cfg.attrib
+            || !cfg.traceOut.empty() || cfg.traceSampleEvery > 0
+            || !cfg.metricsOut.empty() || cfg.metricsIntervalNs > 0
+            || cfg.faults.enabled() || cfg.qos.enabled()
+            || cfg.chaos.enabled() || cfg.watchdogUs > 0.0
+            || cfg.simThreads > 0) {
+            error = "diff mode compares finished runs and takes no "
+                    "simulation flags";
+            return std::nullopt;
+        }
+    } else {
+        if (sawJson) {
+            error = "--json requires diff mode";
+            return std::nullopt;
+        }
+        if (sawThreshold) {
+            error = "--diff-threshold requires diff mode";
+            return std::nullopt;
+        }
     }
     return cfg;
 }
@@ -674,6 +764,7 @@ struct PointResult
     QosStats qos;
     LatencyHistogram hist;   //!< target-device access latency
     AttribSnapshot attrib;   //!< latency-accounting roll-up
+    TailCapture tailcap;     //!< worst-K outliers (exact merge)
     std::string traceJson;   //!< comma-separated Chrome trace events
     std::string metricsRows; //!< long-format metrics timeline rows
 };
@@ -698,6 +789,13 @@ const char *
 histCsvColumns()
 {
     return ",lat_n,lat_avg_ns,lat_p50_ns,lat_p99_ns,lat_max_ns";
+}
+
+const char *
+tailCsvColumns()
+{
+    return ",tail_k,tail_n,tail_considered,tail_worst_ns,tail_kth_ns,"
+           "tail_regime,tail_stage,tail_stage_ns,tail_stack_exact";
 }
 
 /** Per-station queue/service/utilization triplets plus the
@@ -804,8 +902,16 @@ collectPoint(Machine &m, std::optional<Target> target, int pid,
     if (!collectObs)
         return;
     if (RequestTracer *tr = m.tracer()) {
-        bool first = true;
+        bool first = p.traceJson.empty();
         tr->appendTraceEvents(p.traceJson, pid, first);
+    }
+    if (TailCapture *tc = m.tailCapture()) {
+        // Exact associative merge: a point that builds several
+        // machines accumulates one top-K union; the outliers also
+        // land on the trace's dedicated tail track when exported.
+        p.tailcap.merge(*tc);
+        bool first = p.traceJson.empty();
+        tc->appendTraceEvents(p.traceJson, pid, first);
     }
     if (MetricsRegistry *mr = m.metrics()) {
         m.flushMetrics();
@@ -855,20 +961,20 @@ printQosLine(const QosStats &qs)
     std::printf("  qos: %s\n", qs.summary().c_str());
 }
 
+/** @p toNs converts the histogram's recorded unit to ns: machine
+ *  device histograms record ticks (pass 1/tickPerNs), the pool's
+ *  per-host read histograms record ns already (pass 1.0). */
 void
-printHistCsvCells(const LatencyHistogram &h)
+printHistCsvCells(const LatencyHistogram &h, double toNs)
 {
-    // Histograms record ticks; report nanoseconds like every other
-    // latency column.
     std::printf(",%llu,%.1f,%.1f,%.1f,%.1f",
-                (unsigned long long)h.count(),
-                h.mean() / tickPerNs, h.p50() / tickPerNs,
-                h.p99() / tickPerNs,
-                static_cast<double>(h.max()) / tickPerNs);
+                (unsigned long long)h.count(), h.mean() * toNs,
+                h.p50() * toNs, h.p99() * toNs,
+                static_cast<double>(h.max()) * toNs);
 }
 
 void
-printHistLine(const LatencyHistogram &h)
+printHistLine(const LatencyHistogram &h, double toNs)
 {
     if (h.empty()) {
         std::printf("  lat: no samples\n");
@@ -876,9 +982,35 @@ printHistLine(const LatencyHistogram &h)
     }
     std::printf("  lat: n=%llu  avg %.1f  p50 %.1f  p99 %.1f  "
                 "max %.1f ns\n",
-                (unsigned long long)h.count(), h.mean() / tickPerNs,
-                h.p50() / tickPerNs, h.p99() / tickPerNs,
-                static_cast<double>(h.max()) / tickPerNs);
+                (unsigned long long)h.count(), h.mean() * toNs,
+                h.p50() * toNs, h.p99() * toNs,
+                static_cast<double>(h.max()) * toNs);
+}
+
+void
+printTailCsvCells(const TailSummary &t)
+{
+    std::printf(",%u,%llu,%llu,%.1f,%.1f,%s,%s,%.1f,%d", t.k,
+                (unsigned long long)t.held,
+                (unsigned long long)t.considered, t.worstNs, t.kthNs,
+                t.regime.c_str(), t.stage.c_str(), t.stageNs,
+                t.stackExact ? 1 : 0);
+}
+
+void
+printTailLine(const TailSummary &t)
+{
+    if (t.held == 0) {
+        std::printf("  tail: no demand reads considered\n");
+        return;
+    }
+    std::printf("  tail: worst %.1f ns [%s] worst_in=%s(%.1f ns)  "
+                "kth %.1f ns  held %llu (K=%u/class)  "
+                "considered %llu  stack_exact=%d\n",
+                t.worstNs, t.regime.c_str(), t.stage.c_str(),
+                t.stageNs, t.kthNs, (unsigned long long)t.held, t.k,
+                (unsigned long long)t.considered,
+                t.stackExact ? 1 : 0);
 }
 
 void
@@ -906,27 +1038,31 @@ printAttribLine(const AttribSnapshot &a)
  *  group is appended only when enabled, keeping pre-attribution
  *  configurations byte-identical. */
 void
-printExtraCsvCells(const PointResult &p, bool attrib)
+printExtraCsvCells(const PointResult &p, bool attrib, bool tail)
 {
     printRasCsvCells(p.ras);
     printQosCsvCells(p.qos);
-    printHistCsvCells(p.hist);
+    printHistCsvCells(p.hist, 1.0 / tickPerNs);
     if (attrib)
         printAttribCsvCells(p.attrib);
+    if (tail)
+        printTailCsvCells(p.tailcap.summary());
 }
 
 void
 printExtraLines(const PointResult &p, bool ras, bool qos, bool hist,
-                bool attrib)
+                bool attrib, bool tail)
 {
     if (ras)
         printRasLine(p.ras);
     if (qos)
         printQosLine(p.qos);
     if (hist)
-        printHistLine(p.hist);
+        printHistLine(p.hist, 1.0 / tickPerNs);
     if (attrib)
         printAttribLine(p.attrib);
+    if (tail)
+        printTailLine(p.tailcap.summary());
 }
 
 /** Merge per-point trace fragments into one Chrome trace-event JSON
@@ -1000,10 +1136,11 @@ finishRun(const CliConfig &cfg, const std::vector<PointResult> &pts)
 } // namespace
 
 std::string
-csvHeader(CliMode mode, bool ras, bool qos, bool hist, bool attrib)
+csvHeader(CliMode mode, bool ras, bool qos, bool hist, bool attrib,
+          bool tail)
 {
     std::string base;
-    const bool extras = ras || qos || hist || attrib;
+    const bool extras = ras || qos || hist || attrib || tail;
     switch (mode) {
       case CliMode::Latency:
         base = "target,ld,st+wb,nt-st,ptr-chase";
@@ -1047,10 +1184,15 @@ csvHeader(CliMode mode, bool ras, bool qos, bool hist, bool attrib)
             "poisoned,aborted,fenced,granted_mb,digest,"
             "time_to_fence_ns,quarantined_mb,recovered_mb,"
             "ledger_ok,isolation_ok,verdict";
+        if (hist)
+            pool += histCsvColumns();
+        if (tail)
+            pool += tailCsvColumns();
         if (attrib)
             pool += fabricCsvColumns();
         return pool;
       }
+      case CliMode::Diff:
       case CliMode::Help:
         return "";
     }
@@ -1059,6 +1201,8 @@ csvHeader(CliMode mode, bool ras, bool qos, bool hist, bool attrib)
                 + histCsvColumns();
     if (attrib || mode == CliMode::Report)
         base += attribCsvColumns();
+    if (tail)
+        base += tailCsvColumns();
     return base;
 }
 
@@ -1084,7 +1228,8 @@ runCli(const CliConfig &cfg)
     const bool qos = cfg.qos.enabled();
     const bool hist = cfg.histograms;
     const bool attrib = opts.obs.attribution;
-    const bool extras = ras || qos || hist || attrib;
+    const bool tail = opts.obs.tailK > 0;
+    const bool extras = ras || qos || hist || attrib || tail;
     const bool collect = opts.obs.enabled();
 
     // Per-point options: every sweep point gets its own hook writing
@@ -1103,8 +1248,8 @@ runCli(const CliConfig &cfg)
 
     auto csvHeaderLine = [&] {
         std::printf("%s\n",
-                    csvHeader(cfg.mode, ras, qos, hist,
-                              attrib).c_str());
+                    csvHeader(cfg.mode, ras, qos, hist, attrib,
+                              tail).c_str());
     };
 
     switch (cfg.mode) {
@@ -1123,14 +1268,14 @@ runCli(const CliConfig &cfg)
                         targetName(cfg.target), r.loadNs, r.storeWbNs,
                         r.ntStoreNs, r.ptrChaseNs);
             if (extras)
-                printExtraCsvCells(p, attrib);
+                printExtraCsvCells(p, attrib, tail);
             std::printf("\n");
         } else {
             std::printf("%s latency (ns): ld %.1f  st+wb %.1f  "
                         "nt-st %.1f  ptr-chase %.1f\n",
                         targetName(cfg.target), r.loadNs, r.storeWbNs,
                         r.ntStoreNs, r.ptrChaseNs);
-            printExtraLines(p, ras, qos, hist, attrib);
+            printExtraLines(p, ras, qos, hist, attrib, tail);
         }
         return finishRun(cfg, pts);
       }
@@ -1155,13 +1300,13 @@ runCli(const CliConfig &cfg)
                 std::printf("%s,%s,%u,%.2f", targetName(cfg.target),
                             opName(cfg.op), t, pts[i].value);
                 if (extras)
-                    printExtraCsvCells(pts[i], attrib);
+                    printExtraCsvCells(pts[i], attrib, tail);
                 std::printf("\n");
             } else {
                 std::printf("%s %s seq, %2u threads: %7.2f GB/s\n",
                             targetName(cfg.target), opName(cfg.op), t,
                             pts[i].value);
-                printExtraLines(pts[i], ras, qos, hist, attrib);
+                printExtraLines(pts[i], ras, qos, hist, attrib, tail);
             }
         }
         return finishRun(cfg, pts);
@@ -1197,7 +1342,7 @@ runCli(const CliConfig &cfg)
                             (unsigned long long)points[i].block,
                             points[i].threads, pts[i].value);
                 if (extras)
-                    printExtraCsvCells(pts[i], attrib);
+                    printExtraCsvCells(pts[i], attrib, tail);
                 std::printf("\n");
             } else {
                 std::printf("%s %s rand %6lluB blocks, %2u "
@@ -1205,7 +1350,7 @@ runCli(const CliConfig &cfg)
                             targetName(cfg.target), opName(cfg.op),
                             (unsigned long long)points[i].block,
                             points[i].threads, pts[i].value);
-                printExtraLines(pts[i], ras, qos, hist, attrib);
+                printExtraLines(pts[i], ras, qos, hist, attrib, tail);
             }
         }
         return finishRun(cfg, pts);
@@ -1233,14 +1378,14 @@ runCli(const CliConfig &cfg)
                             (unsigned long long)cfg.wssBytes[i],
                             pts[i].value);
                 if (extras)
-                    printExtraCsvCells(pts[i], attrib);
+                    printExtraCsvCells(pts[i], attrib, tail);
                 std::printf("\n");
             } else {
                 std::printf("%s chase wss %10llu B: %7.1f ns\n",
                             targetName(cfg.target),
                             (unsigned long long)cfg.wssBytes[i],
                             pts[i].value);
-                printExtraLines(pts[i], ras, qos, hist, attrib);
+                printExtraLines(pts[i], ras, qos, hist, attrib, tail);
             }
         }
         return finishRun(cfg, pts);
@@ -1260,14 +1405,14 @@ runCli(const CliConfig &cfg)
                         copyMethodName(cfg.method), cfg.batch,
                         p.value);
             if (extras)
-                printExtraCsvCells(p, attrib);
+                printExtraCsvCells(p, attrib, tail);
             std::printf("\n");
         } else {
             std::printf("%s via %s (batch %u): %.2f GB/s\n",
                         copyPathName(cfg.path),
                         copyMethodName(cfg.method), cfg.batch,
                         p.value);
-            printExtraLines(p, ras, qos, hist, attrib);
+            printExtraLines(p, ras, qos, hist, attrib, tail);
         }
         return finishRun(cfg, pts);
       }
@@ -1298,14 +1443,14 @@ runCli(const CliConfig &cfg)
                     std::printf("%s,%u,%.1f,%.1f,%.1f",
                                 targetName(cfg.target), t, d.avgNs,
                                 d.p50Ns, d.p99Ns);
-                    printExtraCsvCells(pts[i], attrib);
+                    printExtraCsvCells(pts[i], attrib, tail);
                     std::printf("\n");
                 } else {
                     std::printf("%s loaded latency, %2u threads: "
                                 "avg %7.1f  p50 %7.1f  p99 %7.1f ns\n",
                                 targetName(cfg.target), t, d.avgNs,
                                 d.p50Ns, d.p99Ns);
-                    printExtraLines(pts[i], ras, qos, hist, attrib);
+                    printExtraLines(pts[i], ras, qos, hist, attrib, tail);
                 }
             }
             return finishRun(cfg, pts);
@@ -1356,13 +1501,13 @@ runCli(const CliConfig &cfg)
             if (cfg.csv) {
                 std::printf("%s,%s,%u,%.2f", targetName(cfg.target),
                             opName(cfg.op), t, pts[i].value);
-                printExtraCsvCells(pts[i], attrib);
+                printExtraCsvCells(pts[i], attrib, tail);
                 std::printf("\n");
             } else {
                 std::printf("%s %s seq, %2u threads: %7.2f GB/s\n",
                             targetName(cfg.target), opName(cfg.op), t,
                             pts[i].value);
-                printExtraLines(pts[i], ras, qos, hist, false);
+                printExtraLines(pts[i], ras, qos, hist, false, tail);
                 std::fputs(pts[i].attrib.table().c_str(), stdout);
             }
         }
@@ -1409,7 +1554,7 @@ runCli(const CliConfig &cfg)
                             (unsigned long long)c.abortedReads,
                             (unsigned long long)c.abortedWrites,
                             d.invariantOk ? 1 : 0);
-                printExtraCsvCells(pts[i].p, attrib);
+                printExtraCsvCells(pts[i].p, attrib, tail);
                 std::printf("\n");
             } else {
                 std::printf("CXL drill, %2u threads:\n",
@@ -1454,7 +1599,7 @@ runCli(const CliConfig &cfg)
                             d.invariantOk ? "OK" : "VIOLATED",
                             d.watchdogTripped
                                 ? " (watchdog tripped)" : "");
-                printExtraLines(pts[i].p, ras, qos, hist, attrib);
+                printExtraLines(pts[i].p, ras, qos, hist, attrib, tail);
             }
             outs.push_back(pts[i].p);
         }
@@ -1485,6 +1630,13 @@ runCli(const CliConfig &cfg)
                     (unsigned long long)(c.recoveredBytes / miB),
                     c.ledgerOk ? 1 : 0, r.isolationOk ? 1 : 0,
                     c.verdict.c_str());
+                // Per-host read histograms record nanoseconds
+                // directly (unlike machine device histograms, which
+                // record ticks), so the unit scale is 1.
+                if (hist)
+                    printHistCsvCells(h.readHist, 1.0);
+                if (tail)
+                    printTailCsvCells(h.tail);
                 if (fabric)
                     printFabricCsvCells(c.fabric, h.host);
                 std::printf("\n");
@@ -1504,6 +1656,10 @@ runCli(const CliConfig &cfg)
                             (unsigned long long)h.digest.aborted,
                             (unsigned long long)(h.grantedBytes
                                                  / miB));
+                if (hist)
+                    printHistLine(h.readHist, 1.0);
+                if (tail)
+                    printTailLine(h.tail);
             }
             if (c.timeToFenceNs >= 0.0) {
                 std::printf("  fencing: dead host fenced in %.1f ns; "
@@ -1542,6 +1698,44 @@ runCli(const CliConfig &cfg)
         const bool ok =
             c.ledgerOk && r.isolationOk && !c.watchdogTripped;
         return ok ? fileRc : 1;
+      }
+
+      case CliMode::Diff: {
+        const auto readFile = [](const std::string &path,
+                                 std::string &out) {
+            std::FILE *f = std::fopen(path.c_str(), "rb");
+            if (!f)
+                return false;
+            char buf[4096];
+            std::size_t n;
+            while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+                out.append(buf, n);
+            std::fclose(f);
+            return true;
+        };
+        std::string a, b;
+        if (!readFile(cfg.diffA, a)) {
+            std::fprintf(stderr, "memo: cannot read %s\n",
+                         cfg.diffA.c_str());
+            return 1;
+        }
+        if (!readFile(cfg.diffB, b)) {
+            std::fprintf(stderr, "memo: cannot read %s\n",
+                         cfg.diffB.c_str());
+            return 1;
+        }
+        DiffOptions dopts;
+        dopts.thresholdPct = cfg.diffThresholdPct;
+        dopts.json = cfg.diffJson;
+        const DiffReport rep = diffRuns(a, b, dopts);
+        if (!rep.ok) {
+            std::fprintf(stderr, "memo: %s\n", rep.error.c_str());
+            return 1;
+        }
+        std::fputs(cfg.diffJson ? diffReportJson(rep).c_str()
+                                : diffReportText(rep).c_str(),
+                   stdout);
+        return 0;
       }
     }
     return 1;

@@ -47,6 +47,7 @@ enum class CliMode
     Report,  //!< bandwidth sweep + per-point attribution breakdown
     Drill,   //!< deterministic failure-lifecycle drill
     Pool,    //!< multi-host pooled-memory cluster scenario
+    Diff,    //!< differential regression verdict over two CSV runs
     Help,
 };
 
@@ -122,6 +123,21 @@ struct CliConfig
      *  (`--attrib`; forced on by `--mode report`). */
     bool attrib = false;
 
+    /** Worst-K tail capture depth (`--tail-trace K`); 0 = off. */
+    std::uint32_t tailK = 0;
+
+    /* ---------------------- diff mode ---------------------------- */
+
+    /** The two CSV files `memo diff A.csv B.csv` compares. */
+    std::string diffA;
+    std::string diffB;
+
+    /** Machine-readable JSON verdict (`--json`, diff mode only). */
+    bool diffJson = false;
+
+    /** No-change band in percent (`--diff-threshold`, diff mode). */
+    double diffThresholdPct = 5.0;
+
     /** The resolved observability options this invocation runs with
      *  (all-off unless one of the flags above was given). */
     ObservabilityOptions observability() const;
@@ -139,7 +155,7 @@ struct CliConfig
  * runs.
  */
 std::string csvHeader(CliMode mode, bool ras, bool qos, bool hist,
-                      bool attrib = false);
+                      bool attrib = false, bool tail = false);
 
 /**
  * Parse argv into a CliConfig.

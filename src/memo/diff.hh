@@ -1,0 +1,88 @@
+/**
+ * @file
+ * `memo diff A.csv B.csv`: differential regression verdicts over two
+ * finished runs.
+ *
+ * Both inputs are `--csv` outputs carrying an attribution tier
+ * (machine runs with `--attrib` / `--mode report`, pool runs with
+ * `--attrib`'s fabric tier). The diff matches rows by their identity
+ * columns (target/op/threads/... for machine sweeps, host/port/role
+ * for pools), averages the exact per-station queue/service stack over
+ * the matched rows of each file, and names the station whose movement
+ * explains the latency shift -- splitting it into queueing versus
+ * service so the verdict distinguishes "the device got slower" from
+ * "the device got more contended".
+ *
+ * Everything here is a pure function over the two CSV strings: no
+ * files, no simulation, so tests pin fixture CSVs and assert the
+ * verdict text/JSON byte-for-byte.
+ */
+
+#ifndef CXLMEMO_MEMO_DIFF_HH
+#define CXLMEMO_MEMO_DIFF_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cxlmemo
+{
+namespace memo
+{
+
+struct DiffOptions
+{
+    /** No-change band: |shift| below this is noise, not a verdict. */
+    double thresholdPct = 5.0;
+
+    /** Emit machine-readable JSON instead of the text report. */
+    bool json = false;
+};
+
+/** One station's before/after stack contribution (mean ns/request
+ *  over the matched rows; queue and service separately). */
+struct StationDelta
+{
+    std::string station; //!< display name, e.g. "cxl.backend"
+    double aQ = 0.0;     //!< run A queue ns
+    double aS = 0.0;     //!< run A service ns
+    double bQ = 0.0;     //!< run B queue ns
+    double bS = 0.0;     //!< run B service ns
+    double deltaQ = 0.0; //!< bQ - aQ
+    double deltaS = 0.0; //!< bS - aS
+    double deltaNs = 0.0; //!< deltaQ + deltaS
+    double pct = 0.0;    //!< deltaNs as % of the station's A stack
+};
+
+/** The full comparison result. */
+struct DiffReport
+{
+    bool ok = false;     //!< false: @ref error says why
+    std::string error;
+
+    std::size_t rows = 0; //!< matched identity keys
+    std::string basis;    //!< "p99" or "mean_total"
+    double aNs = 0.0;     //!< basis latency, run A
+    double bNs = 0.0;     //!< basis latency, run B
+    double shiftPct = 0.0;
+
+    std::vector<StationDelta> stations; //!< sorted, biggest mover first
+
+    std::string regime;  //!< "regression" | "improvement" | "no-change"
+    std::string verdict; //!< one-line human explanation
+};
+
+/** Compare two `--csv` run outputs (full file contents, not paths). */
+DiffReport diffRuns(const std::string &csvA, const std::string &csvB,
+                    const DiffOptions &opts);
+
+/** Human-readable multi-line report. */
+std::string diffReportText(const DiffReport &r);
+
+/** Machine-readable JSON document (for CI gating). */
+std::string diffReportJson(const DiffReport &r);
+
+} // namespace memo
+} // namespace cxlmemo
+
+#endif // CXLMEMO_MEMO_DIFF_HH

@@ -47,7 +47,7 @@ runPool(const PoolSpec &spec, const Options &opts, unsigned jobs)
             ClusterResult r = c.run();
             // Serialize the trace here, after the timed run: run()
             // leaves ClusterResult::traceJson empty by contract.
-            if (po.obs.traceSampleEvery > 0)
+            if (po.obs.traceSampleEvery > 0 || po.obs.tailK > 0)
                 r.traceJson = c.traceJson();
             return r;
         }

@@ -97,6 +97,51 @@ class LatencyHistogram
     double p50() const { return percentile(50.0); }
     double p99() const { return percentile(99.0); }
 
+    /** Raw bucket counts (windowed-delta snapshots subtract these). */
+    const std::array<std::uint64_t, kBuckets> &
+    bucketCounts() const
+    {
+        return buckets_;
+    }
+
+    /**
+     * Batch quantile extraction over a raw bucket-count array in one
+     * walk. Same nearest-rank rule as percentile(), reported as bucket
+     * midpoints (no min/max clamp: windowed deltas track no extremes).
+     * @param counts per-bucket counts (e.g. a cur - prev delta window)
+     * @param total sum of @p counts (caller usually has it already)
+     * @param qs ascending percentiles in [0, 100], n of them
+     * @param out receives one midpoint per entry of @p qs
+     */
+    static void
+    quantilesFromBuckets(const std::array<std::uint64_t, kBuckets> &counts,
+                         std::uint64_t total, const double *qs,
+                         double *out, std::size_t n)
+    {
+        if (total == 0) {
+            for (std::size_t i = 0; i < n; ++i)
+                out[i] = 0.0;
+            return;
+        }
+        std::size_t q = 0;
+        std::uint64_t seen = 0;
+        for (std::uint32_t b = 0; b < kBuckets && q < n; ++b) {
+            seen += counts[b];
+            while (q < n) {
+                auto rank = static_cast<std::uint64_t>(
+                    qs[q] / 100.0 * static_cast<double>(total)
+                    + 0.9999999);
+                rank = std::clamp<std::uint64_t>(rank, 1, total);
+                if (seen < rank)
+                    break;
+                out[q++] = bucketMidpoint(b);
+            }
+        }
+        // Unreached quantiles (total undercounted by caller): last bucket.
+        for (; q < n; ++q)
+            out[q] = bucketMidpoint(kBuckets - 1);
+    }
+
     /** Exact combine: bucket counts add, extremes take the hull. */
     void
     merge(const LatencyHistogram &o)

@@ -36,6 +36,56 @@ MetricsRegistry::appendRow(Tick now, const std::string &name,
 }
 
 void
+MetricsRegistry::addHistogram(std::string name,
+                              std::function<const LatencyHistogram *()>
+                                  read,
+                              double scale)
+{
+    Hist h;
+    h.name = std::move(name);
+    h.read = std::move(read);
+    h.scale = scale;
+    // The percentile rows ride on a plain counter of window samples,
+    // so the histogram stream participates in the timeline's
+    // conservation property (sum of <name>.n deltas == final total).
+    addCounter(h.name + ".n", [r = h.read] {
+        const LatencyHistogram *src = r();
+        return src ? src->count() : 0;
+    });
+    hists_.push_back(std::move(h));
+}
+
+void
+MetricsRegistry::snapshotHists(Tick now)
+{
+    static constexpr double kQs[] = {50.0, 95.0, 99.0, 99.9};
+    static constexpr const char *kQNames[] = {".p50", ".p95", ".p99",
+                                              ".p999"};
+    for (Hist &h : hists_) {
+        const LatencyHistogram *src = h.read();
+        if (!src)
+            continue;
+        const auto &cur = src->bucketCounts();
+        const std::uint64_t cnt = src->count();
+        const std::uint64_t win = cnt - h.lastCount;
+        if (win > 0) {
+            std::array<std::uint64_t, LatencyHistogram::kBuckets> delta;
+            for (std::uint32_t b = 0; b < LatencyHistogram::kBuckets;
+                 ++b)
+                delta[b] = cur[b] - h.last[b];
+            double out[4];
+            LatencyHistogram::quantilesFromBuckets(delta, win, kQs, out,
+                                                   4);
+            for (std::size_t q = 0; q < 4; ++q)
+                appendRow(now, h.name + kQNames[q], "pctl",
+                          out[q] * h.scale);
+        }
+        h.last = cur;
+        h.lastCount = cnt;
+    }
+}
+
+void
 MetricsRegistry::snapshot(Tick now)
 {
     ++snapshots_;
@@ -78,6 +128,7 @@ MetricsRegistry::snapshot(Tick now)
             g.last = v;
         }
     }
+    snapshotHists(now);
 }
 
 void
@@ -101,6 +152,15 @@ MetricsRegistry::reset()
         c.last = c.read();
     for (Gauge &g : gauges_)
         g.emitted = false;
+    for (Hist &h : hists_) {
+        if (const LatencyHistogram *src = h.read()) {
+            h.last = src->bucketCounts();
+            h.lastCount = src->count();
+        } else {
+            h.last.fill(0);
+            h.lastCount = 0;
+        }
+    }
 }
 
 } // namespace cxlmemo

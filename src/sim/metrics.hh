@@ -26,9 +26,14 @@
  *
  *     time_ns,metric,kind,value
  *
- * with kind in {delta, gauge, total}. Long format keeps the column
- * set fixed no matter which components exist, so timelines from
- * different configurations concatenate cleanly.
+ * with kind in {delta, gauge, total, pctl}. Long format keeps the
+ * column set fixed no matter which components exist, so timelines
+ * from different configurations concatenate cleanly. "pctl" rows come
+ * from registered histograms: each snapshot diffs the cumulative
+ * bucket counts against the previous snapshot (an exact u64 delta
+ * window) and reports p50/p95/p99/p999 of *that interval's* samples,
+ * so a late tail blow-up is visible at the interval it happened, not
+ * smeared into the whole-run distribution.
  *
  * The sampler follows the watchdog's scheduling-neutrality rule: its
  * event reschedules itself only while other events are pending, so
@@ -40,12 +45,14 @@
 #ifndef CXLMEMO_SIM_METRICS_HH
 #define CXLMEMO_SIM_METRICS_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/histogram.hh"
 #include "sim/types.hh"
 
 namespace cxlmemo
@@ -68,6 +75,21 @@ class MetricsRegistry
         gauges_.push_back({std::move(name), std::move(read)});
     }
 
+    /**
+     * Register a cumulative latency histogram for windowed percentile
+     * rows. Each snapshot subtracts the previous snapshot's bucket
+     * counts (delta window, not cumulative) and emits
+     * `<name>.p50/.p95/.p99/.p999` rows (kind "pctl") when the window
+     * saw samples. Also registers a `<name>.n` counter so the sample
+     * stream keeps the timeline's conservation property.
+     * @p read may return null while the source does not exist yet.
+     * @p scale converts bucket units to the emitted value (histograms
+     * that record ticks pass 1/tickPerNs to report ns).
+     */
+    void addHistogram(std::string name,
+                      std::function<const LatencyHistogram *()> read,
+                      double scale = 1.0);
+
     /** Emit one delta row per counter and one gauge row per gauge. */
     void snapshot(Tick now);
 
@@ -85,6 +107,7 @@ class MetricsRegistry
 
     std::size_t counterCount() const { return counters_.size(); }
     std::size_t gaugeCount() const { return gauges_.size(); }
+    std::size_t histogramCount() const { return hists_.size(); }
     std::uint64_t snapshots() const { return snapshots_; }
 
     /** Clear rows and re-baseline counters (between sweep points). */
@@ -106,13 +129,27 @@ class MetricsRegistry
         bool emitted = false;
     };
 
+    struct Hist
+    {
+        std::string name;
+        std::function<const LatencyHistogram *()> read;
+        double scale = 1.0;
+        /** Previous snapshot's bucket counts; the delta window is
+         *  cur - last, exact in u64 (counts are monotone). */
+        std::array<std::uint64_t, LatencyHistogram::kBuckets> last{};
+        std::uint64_t lastCount = 0;
+    };
+
     void appendRow(Tick now, const std::string &name, const char *kind,
                    std::uint64_t value);
     void appendRow(Tick now, const std::string &name, const char *kind,
                    double value);
 
+    void snapshotHists(Tick now);
+
     std::vector<Counter> counters_;
     std::vector<Gauge> gauges_;
+    std::vector<Hist> hists_;
     std::string rows_;
     std::uint64_t snapshots_ = 0;
     bool flushed_ = false;

@@ -37,11 +37,17 @@ struct ObservabilityOptions
      *  on all stations plus the demand-read latency stack. */
     bool attribution = false;
 
+    /** Worst-K tail capture depth per regime class (sim/tailcap.hh):
+     *  every completed demand read is considered, the K worst per
+     *  Local/Remote/Cxl/Fabric class are retained with their full
+     *  stage bracket (0 = off). */
+    std::uint32_t tailK = 0;
+
     bool
     enabled() const
     {
         return traceSampleEvery != 0 || metricsInterval != 0
-               || latencyHistograms || attribution;
+               || latencyHistograms || attribution || tailK != 0;
     }
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/tailcap.hh"
 
 namespace cxlmemo
 {
@@ -42,22 +43,39 @@ TraceSpan *
 RequestTracer::maybeStart(std::uint16_t source, MemCmd cmd, Addr addr,
                           Tick at)
 {
-    if (sampleEvery_ == 0)
+    bool sampled = false;
+    if (sampleEvery_ != 0) {
+        ++seen_;
+        // Countdown, not modulo: this runs at every request issue on
+        // the hot path, and a u64 division per request is measurable
+        // at pool scale. Starts at 1 so the first request is sampled,
+        // matching the (seen % N == 0) rule this replaces.
+        if (--countdown_ == 0) {
+            countdown_ = sampleEvery_;
+            sampled = true;
+        }
+    }
+    // Tail mode spans *every* demand read: the requests that are the
+    // p99 are almost never the 1-in-N sampled ones.
+    const bool tail = tail_ != nullptr && cmd == MemCmd::Read;
+    if (!sampled && !tail)
         return nullptr;
-    ++seen_;
-    // Countdown, not modulo: this runs at every request issue on the
-    // hot path, and a u64 division per request is measurable at pool
-    // scale. Starts at 1 so the first request is sampled, matching
-    // the (seen % N == 0) rule this replaces.
-    if (--countdown_ != 0)
-        return nullptr;
-    countdown_ = sampleEvery_;
-    auto span = std::make_unique<TraceSpan>();
+    std::unique_ptr<TraceSpan> span;
+    if (!free_.empty()) {
+        span = std::move(free_.back());
+        free_.pop_back();
+        span->marks.clear();
+    } else {
+        span = std::make_unique<TraceSpan>();
+    }
     span->id = nextId_++;
     span->source = source;
     span->cmd = cmd;
     span->addr = addr;
     span->start = at;
+    span->end = 0;
+    span->sampled = sampled;
+    span->openIdx = static_cast<std::uint32_t>(open_.size());
     TraceSpan *raw = span.get();
     open_.push_back(std::move(span));
     return raw;
@@ -68,26 +86,38 @@ RequestTracer::finish(TraceSpan *span, Tick at)
 {
     CXLMEMO_ASSERT(span != nullptr, "finishing a null span");
     span->end = at;
-    auto it = std::find_if(open_.begin(), open_.end(),
-                           [span](const std::unique_ptr<TraceSpan> &p) {
-                               return p.get() == span;
-                           });
-    CXLMEMO_ASSERT(it != open_.end(), "span finished twice or never opened");
-    TraceSpan done = std::move(**it);
-    // Swap-remove: span completion order is timing-dependent anyway;
-    // exports sort nothing and viewers order by timestamp.
-    *it = std::move(open_.back());
+    const std::size_t idx = span->openIdx;
+    CXLMEMO_ASSERT(idx < open_.size() && open_[idx].get() == span,
+                   "span finished twice or never opened");
+    std::unique_ptr<TraceSpan> done = std::move(open_[idx]);
+    // Swap-remove (O(1) via the span's stored slot index): span
+    // completion order is timing-dependent anyway; exports sort
+    // nothing and viewers order by timestamp.
+    if (idx != open_.size() - 1) {
+        open_[idx] = std::move(open_.back());
+        open_[idx]->openIdx = static_cast<std::uint32_t>(idx);
+    }
     open_.pop_back();
 
+    if (tail_ && done->cmd == MemCmd::Read)
+        tail_->consider(*done);
+
+    if (!done->sampled) {
+        // Tail-only span: considered above, never exported or ringed
+        // (the ring stays the sampled flight recorder). Recycle it.
+        free_.push_back(std::move(done));
+        return;
+    }
     if (ringCap_ > 0) {
         if (ring_.size() == ringCap_)
             ring_.pop_front();
-        ring_.push_back(done);
+        ring_.push_back(*done);
     }
     if (completed_.size() < maxCompleted_)
-        completed_.push_back(std::move(done));
+        completed_.push_back(std::move(*done));
     else
         ++dropped_;
+    free_.push_back(std::move(done));
 }
 
 namespace

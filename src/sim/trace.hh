@@ -96,7 +96,16 @@ struct TraceSpan
     Tick start = 0;
     Tick end = 0;
     std::vector<StageMark> marks;
+    /** 1-in-N sampled (exported + ringed); tail-only spans are
+     *  considered for worst-K capture and then recycled. */
+    bool sampled = true;
+    /** Slot in the tracer's open set, kept current so finish() is
+     *  O(1) -- with tail capture armed every demand read has a span
+     *  and a linear scan would be hot. */
+    std::uint32_t openIdx = 0;
 };
+
+class TailCapture;
 
 class RequestTracer
 {
@@ -126,6 +135,17 @@ class RequestTracer
 
     /** Complete the span: moves it to the export set and the ring. */
     void finish(TraceSpan *span, Tick at);
+
+    /**
+     * Arm worst-K tail mode: maybeStart() returns a span for *every*
+     * demand read (not just the sampled 1-in-N), and finish() offers
+     * each completed read to @p tc. Tail-only spans never reach the
+     * export set or the ring; they are recycled through a free list,
+     * so steady state allocates nothing.
+     */
+    void setTailCapture(TailCapture *tc) { tail_ = tc; }
+
+    TailCapture *tailCapture() const { return tail_; }
 
     std::uint64_t sampleEvery() const { return sampleEvery_; }
     std::uint64_t seen() const { return seen_; }
@@ -165,8 +185,15 @@ class RequestTracer
     std::uint64_t nextId_ = 0;
     std::uint64_t dropped_ = 0;
 
+    /** Worst-K tail capture (null = sampled tracing only). */
+    TailCapture *tail_ = nullptr;
+
     /** Spans in flight; unique_ptr keeps addresses stable. */
     std::vector<std::unique_ptr<TraceSpan>> open_;
+    /** Recycled span shells (marks keep their capacity, so tail mode
+     *  stops allocating once the open set has seen its high-water
+     *  mark). */
+    std::vector<std::unique_ptr<TraceSpan>> free_;
     /** Completed spans retained for JSON export (bounded). */
     std::vector<TraceSpan> completed_;
     /** Last-N completed spans for the post-mortem. */

@@ -442,10 +442,19 @@ Cluster::setupObservability()
                                                spec_.devices, 0);
         sw_->setFabricBoard(board_.get());
     }
-    if (obs.traceSampleEvery > 0) {
-        for (auto &H : hosts_)
+    // Tail capture rides the tracer plumbing but is parallel-safe: a
+    // span is touched by one domain at a time (host issues/finishes,
+    // fabric marks in between with causal handoffs through the
+    // executor) and the worst-K set is completion-order independent.
+    if (obs.traceSampleEvery > 0 || obs.tailK > 0) {
+        for (auto &H : hosts_) {
             H.tracer = std::make_unique<RequestTracer>(
                 obs.traceSampleEvery, obs.traceRing);
+            if (obs.tailK > 0) {
+                H.tailcap = std::make_unique<TailCapture>(obs.tailK);
+                H.tracer->setTailCapture(H.tailcap.get());
+            }
+        }
     }
     if (obs.metricsInterval > 0) {
         metrics_ = std::make_unique<MetricsRegistry>();
@@ -463,7 +472,7 @@ Cluster::setupObservability()
     }
     if (watchdog_) {
         for (auto &H : hosts_) {
-            if (!H.tracer)
+            if (!H.tracer || H.tracer->sampleEvery() == 0)
                 continue;
             RequestTracer *tr = H.tracer.get();
             const std::uint32_t h = H.id;
@@ -471,6 +480,16 @@ Cluster::setupObservability()
                 return "  host" + std::to_string(h) + " (port"
                        + std::to_string(h) + "):\n"
                        + tr->postMortem(eq_.curTick());
+            });
+        }
+        for (auto &H : hosts_) {
+            if (!H.tailcap)
+                continue;
+            TailCapture *tc = H.tailcap.get();
+            const std::uint32_t h = H.id;
+            watchdog_->addPostMortem([tc, h] {
+                return "  host" + std::to_string(h) + " tail:\n"
+                       + tc->table();
             });
         }
         if (board_) {
@@ -518,6 +537,14 @@ Cluster::registerMetrics()
                        return static_cast<double>(
                            pool_->grantedBytes(h));
                    });
+        if (opts_.obs.latencyHistograms) {
+            // Per-host windowed read-latency percentiles. The host
+            // histogram is always recorded (ns units), so this adds
+            // no hot-path cost, only snapshot rows.
+            const LatencyHistogram *rh = &hosts_[h].readHist;
+            m.addHistogram("host" + std::to_string(h) + ".read_lat",
+                           [rh] { return rh; }, 1.0);
+        }
     }
     PoolManager *pm = pool_.get();
     m.addCounter("pool.granted_bytes_total",
@@ -900,6 +927,9 @@ Cluster::run()
                                 / static_cast<double>(
                                     H.readHist.count());
         r.readP99Ns = H.readHist.percentile(99.0);
+        r.readHist = H.readHist;
+        if (H.tailcap)
+            r.tail = H.tailcap->summary();
         res.hosts.push_back(std::move(r));
     }
     res.verdict = attributionVerdict();
@@ -992,6 +1022,34 @@ Cluster::exportTraceJson() const
                 event(traceStageName(m.stage), fab ? 0 : hostPid,
                       H.id, m.at, until > m.at ? until - m.at : 0, id,
                       span.addr, traceStageName(m.stage));
+            }
+        }
+    }
+
+    // The worst-K outliers land on a dedicated tail track per host
+    // (tid = kTailTid), parent slice tail:<regime> plus one child per
+    // stage -- the p99 request as a clickable stack, next to the
+    // sampled spans.
+    for (const Host &H : hosts_) {
+        if (!H.tailcap)
+            continue;
+        const int hostPid = 1 + static_cast<int>(H.id);
+        for (const TailSpan *s : H.tailcap->worstFirst()) {
+            const std::uint64_t id =
+                (static_cast<std::uint64_t>(H.id + 1) << 32) | s->id;
+            const std::string parent =
+                std::string("tail:") + tailRegimeName(s->regime);
+            event(parent.c_str(), hostPid, TailCapture::kTailTid,
+                  s->start, s->latency(), id, s->addr, "tail");
+            for (std::size_t i = 0; i < s->marks.size(); ++i) {
+                const StageMark &m = s->marks[i];
+                const Tick until = i + 1 < s->marks.size()
+                                       ? s->marks[i + 1].at
+                                       : s->end;
+                event(traceStageName(m.stage), hostPid,
+                      TailCapture::kTailTid, m.at,
+                      until > m.at ? until - m.at : 0, id, s->addr,
+                      traceStageName(m.stage));
             }
         }
     }

@@ -66,6 +66,7 @@
 #include "sim/observability.hh"
 #include "sim/parallel.hh"
 #include "sim/rng.hh"
+#include "sim/tailcap.hh"
 #include "sim/trace.hh"
 #include "sim/watchdog.hh"
 
@@ -172,6 +173,11 @@ struct HostReport
     double gbps = 0.0;
     double readAvgNs = 0.0;
     double readP99Ns = 0.0;
+    /** Full read-latency histogram (ns; always recorded, so the
+     *  `lat_*` CSV tier costs nothing extra to fill). */
+    LatencyHistogram readHist;
+    /** Worst-K tail roll-up (k == 0 unless obs.tailK). */
+    TailSummary tail;
 };
 
 /** Whole-cluster outcome of one Cluster::run(). */
@@ -232,11 +238,13 @@ class Cluster
         /** Hard simulated-time limit (0 = run to quiesce). */
         double limitUs = 0.0;
 
-        /** Fabric observability (tracing / metrics / attribution).
-         *  All off by default; enabling any layer never changes
-         *  simulated results. Request-lifecycle tracing requires the
-         *  classic engine (simThreads == 0): spans are marked on both
-         *  the host and fabric domains. */
+        /** Fabric observability (tracing / metrics / attribution /
+         *  tail capture). All off by default; enabling any layer
+         *  never changes simulated results. Request-lifecycle tracing
+         *  requires the classic engine (simThreads == 0): spans are
+         *  marked on both the host and fabric domains. Worst-K tail
+         *  capture (obs.tailK) works on both engines -- the retained
+         *  set is completion-order independent by construction. */
         ObservabilityOptions obs;
     };
 
@@ -312,8 +320,11 @@ class Cluster
         double readLatSumNs = 0.0;
         Tick lastDoneTick = 0;
         /** Per-host tracer: host-scoped span ids, deterministic
-         *  per-host sampling (null unless tracing is enabled). */
+         *  per-host sampling (null unless tracing or tail capture is
+         *  enabled). */
         std::unique_ptr<RequestTracer> tracer;
+        /** Per-host worst-K capture (null unless obs.tailK). */
+        std::unique_ptr<TailCapture> tailcap;
     };
 
     EventQueue &hostQueue(std::uint32_t host);

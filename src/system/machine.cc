@@ -328,6 +328,13 @@ Machine::Machine(Testbed testbed, MachineOptions opts) : testbed_(testbed)
 
     const bool par = opts.simThreads > 0;
     if (par) {
+        // Sampled tracing exports spans in completion order, which is
+        // executor-timing dependent, so it stays classic-only. Tail
+        // capture (obs.tailK) is fine here: a span is touched by one
+        // domain at a time (marks follow the request's causal chain,
+        // handoffs synchronize through the executor posts) and the
+        // retained worst-K set is completion-order independent by
+        // construction.
         if (opts.obs.traceSampleEvery > 0)
             throw std::invalid_argument(
                 "Machine: request-lifecycle tracing requires the "
@@ -571,13 +578,21 @@ Machine::Machine(Testbed testbed, MachineOptions opts) : testbed_(testbed)
     // ObservabilityOptions builds none of it, cores see a null tracer
     // and the devices' histogram pointers stay null, so the disabled
     // configuration is bit-identical to a build without this layer.
-    if (opts.obs.traceSampleEvery > 0) {
+    if (opts.obs.traceSampleEvery > 0 || opts.obs.tailK > 0) {
         tracer_ = std::make_unique<RequestTracer>(
             opts.obs.traceSampleEvery, opts.obs.traceRing);
         caches_->setTracer(tracer_.get());
-        if (watchdog_) {
+        if (opts.obs.tailK > 0) {
+            tailcap_ = std::make_unique<TailCapture>(opts.obs.tailK);
+            tracer_->setTailCapture(tailcap_.get());
+        }
+        if (watchdog_ && opts.obs.traceSampleEvery > 0) {
             watchdog_->addPostMortem(
                 [this] { return tracer_->postMortem(eq_.curTick()); });
+        }
+        if (watchdog_ && tailcap_) {
+            watchdog_->addPostMortem(
+                [this] { return tailcap_->table(); });
         }
     }
     if (opts.obs.latencyHistograms) {
@@ -790,6 +805,24 @@ Machine::registerMetrics()
                 return static_cast<double>(cxl_->creditWaitDepth());
             });
         }
+    }
+    // Windowed percentile timelines ride the device histograms, which
+    // exist only when obs.latencyHistograms is also set (histograms
+    // are enabled before this runs). Values are ticks; scale to ns.
+    if (local_->latencyHistogram()) {
+        m.addHistogram("lat.local",
+                       [this] { return local_->latencyHistogram(); },
+                       1.0 / tickPerNs);
+    }
+    if (remote_ && remote_->latencyHistogram()) {
+        m.addHistogram("lat.remote",
+                       [this] { return remote_->latencyHistogram(); },
+                       1.0 / tickPerNs);
+    }
+    if (cxl_ && cxl_->latencyHistogram()) {
+        m.addHistogram("lat.cxl",
+                       [this] { return cxl_->latencyHistogram(); },
+                       1.0 / tickPerNs);
     }
     if (faults_) {
         m.addCounter("ras.crc_errors",

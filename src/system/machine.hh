@@ -30,6 +30,7 @@
 #include "sim/observability.hh"
 #include "sim/parallel.hh"
 #include "sim/qos.hh"
+#include "sim/tailcap.hh"
 #include "sim/trace.hh"
 #include "sim/watchdog.hh"
 
@@ -205,8 +206,13 @@ class Machine
     /** Forward-progress watchdog (nullptr when disabled). */
     Watchdog *watchdog() { return watchdog_.get(); }
 
-    /** Request-lifecycle tracer (nullptr when tracing is disabled). */
+    /** Request-lifecycle tracer (nullptr when tracing is disabled).
+     *  Also built (sampling 0-in-N) when only tail capture is armed,
+     *  since tail mode rides the tracer's span plumbing. */
     RequestTracer *tracer() { return tracer_.get(); }
+
+    /** Worst-K tail capture (nullptr when `obs.tailK` is 0). */
+    TailCapture *tailCapture() { return tailcap_.get(); }
 
     /** Interval-metrics registry (nullptr when metrics are disabled). */
     MetricsRegistry *metrics() { return metrics_.get(); }
@@ -294,6 +300,7 @@ class Machine
     std::unique_ptr<HostThrottle> throttle_;
     std::unique_ptr<Watchdog> watchdog_;
     std::unique_ptr<RequestTracer> tracer_;
+    std::unique_ptr<TailCapture> tailcap_;
     std::unique_ptr<MetricsRegistry> metrics_;
     std::unique_ptr<MetricsSampler> sampler_;
     std::unique_ptr<AttributionBoard> attrib_;

@@ -555,9 +555,10 @@ TEST(MemoCli, PoolCsvHeaderIsStableAndPerHost)
           "time_to_fence_ns", "quarantined_mb", "recovered_mb",
           "ledger_ok", "isolation_ok", "verdict"})
         EXPECT_NE(h.find(col), std::string::npos) << col;
-    // Pool rows are their own tier: the machine-level RAS/QoS/hist
-    // column groups never widen them; only --attrib does (below).
-    EXPECT_EQ(h, csvHeader(CliMode::Pool, true, true, true, false));
+    // Pool rows are their own tier: the machine-level RAS/QoS column
+    // groups never widen them; only the per-host histogram/tail tiers
+    // and --attrib's fabric tier do (below).
+    EXPECT_EQ(h, csvHeader(CliMode::Pool, true, true, false, false));
 }
 
 TEST(MemoCli, PoolCsvHeaderGrowsFabricTierWithAttrib)
@@ -606,15 +607,154 @@ TEST(MemoCli, TraceFlagsRequireClassicEngine)
     EXPECT_TRUE(parse({"--mode", "pool", "--trace-out", "t.json"}));
 }
 
-TEST(MemoCli, PoolModeRejectsHistograms)
+TEST(MemoCli, HistogramsAcceptedEverywhereIncludingPool)
 {
-    std::string err;
-    std::vector<std::string> v{"--mode", "pool", "--histograms"};
-    EXPECT_FALSE(parseCli(v, err).has_value());
-    EXPECT_NE(err.find("pool mode"), std::string::npos) << err;
-    // Every machine-level mode keeps accepting it.
-    for (const char *mode : {"seq", "rand", "loaded", "drill"})
+    // Pool mode grew per-host read histograms, so --histograms is a
+    // supported combination in every mode now.
+    for (const char *mode : {"seq", "rand", "loaded", "drill", "pool"})
         EXPECT_TRUE(parse({"--mode", mode, "--histograms"})) << mode;
+    const auto cfg = parse({"--mode", "pool", "--histograms"});
+    ASSERT_TRUE(cfg);
+    EXPECT_TRUE(cfg->observability().latencyHistograms);
+}
+
+/* ------------------------- tail forensics ------------------------ */
+
+TEST(MemoCli, TailTraceFlagParses)
+{
+    const auto cfg =
+        parse({"--mode", "loaded", "--target", "cxl", "--tail-trace",
+               "16"});
+    ASSERT_TRUE(cfg);
+    EXPECT_EQ(cfg->tailK, 16u);
+    EXPECT_EQ(cfg->observability().tailK, 16u);
+    EXPECT_TRUE(cfg->observability().enabled());
+    // Default: off, and not enabling observability by itself.
+    const auto plain = parse({"--mode", "loaded"});
+    ASSERT_TRUE(plain);
+    EXPECT_EQ(plain->tailK, 0u);
+}
+
+TEST(MemoCli, TailTraceRejectsBadDepths)
+{
+    for (const char *bad : {"0", "1025", "x", "-3", ""}) {
+        std::string err;
+        std::vector<std::string> v{"--mode", "loaded", "--tail-trace",
+                                   bad};
+        EXPECT_FALSE(parseCli(v, err).has_value()) << bad;
+        EXPECT_NE(err.find("tail-trace"), std::string::npos) << err;
+    }
+    // Boundary values stay accepted.
+    EXPECT_TRUE(parse({"--mode", "loaded", "--tail-trace", "1"}));
+    EXPECT_TRUE(parse({"--mode", "loaded", "--tail-trace", "1024"}));
+}
+
+TEST(MemoCli, TailTraceComposesWithParallelEngineAndPool)
+{
+    // Tail capture is parallel-safe (spans retire on the host
+    // domain), so --sim-threads composes -- unlike --trace-out.
+    EXPECT_TRUE(parse({"--mode", "loaded", "--tail-trace", "8",
+                       "--sim-threads", "4"}));
+    EXPECT_TRUE(parse({"--mode", "pool", "--tail-trace", "8",
+                       "--sim-threads", "4"}));
+    EXPECT_TRUE(parse({"--mode", "pool", "--tail-trace", "8",
+                       "--histograms"}));
+}
+
+TEST(MemoCli, DiffModeParses)
+{
+    const auto cfg = parse({"diff", "a.csv", "b.csv"});
+    ASSERT_TRUE(cfg);
+    EXPECT_EQ(cfg->mode, CliMode::Diff);
+    EXPECT_EQ(cfg->diffA, "a.csv");
+    EXPECT_EQ(cfg->diffB, "b.csv");
+    EXPECT_FALSE(cfg->diffJson);
+    EXPECT_DOUBLE_EQ(cfg->diffThresholdPct, 5.0);
+
+    const auto json = parse({"diff", "a.csv", "b.csv", "--json",
+                             "--diff-threshold", "2.5"});
+    ASSERT_TRUE(json);
+    EXPECT_TRUE(json->diffJson);
+    EXPECT_DOUBLE_EQ(json->diffThresholdPct, 2.5);
+
+    // --mode diff spelling works too.
+    const auto viaMode = parse({"--mode", "diff", "a.csv", "b.csv"});
+    ASSERT_TRUE(viaMode);
+    EXPECT_EQ(viaMode->mode, CliMode::Diff);
+}
+
+TEST(MemoCli, DiffModeRejectsBadInvocations)
+{
+    // Wrong file counts.
+    for (auto v : {std::vector<std::string>{"diff"},
+                   std::vector<std::string>{"diff", "a.csv"},
+                   std::vector<std::string>{"diff", "a.csv", "b.csv",
+                                            "c.csv"}}) {
+        std::string err;
+        EXPECT_FALSE(parseCli(v, err).has_value());
+        EXPECT_NE(err.find("diff"), std::string::npos) << err;
+    }
+    // Simulation flags are meaningless against finished runs.
+    for (auto extra :
+         {std::vector<std::string>{"--tail-trace", "8"},
+          std::vector<std::string>{"--histograms"},
+          std::vector<std::string>{"--attrib"},
+          std::vector<std::string>{"--trace-out", "t.json"},
+          std::vector<std::string>{"--metrics-out", "m.csv"},
+          std::vector<std::string>{"--sim-threads", "2"},
+          std::vector<std::string>{"--fault-spec", "crc=1e-4"}}) {
+        std::vector<std::string> v{"diff", "a.csv", "b.csv"};
+        v.insert(v.end(), extra.begin(), extra.end());
+        std::string err;
+        EXPECT_FALSE(parseCli(v, err).has_value()) << extra[0];
+        EXPECT_NE(err.find("diff"), std::string::npos) << err;
+    }
+    // Bad threshold values.
+    for (const char *bad : {"-1", "101", "x", ""}) {
+        std::string err;
+        std::vector<std::string> v{"diff", "a.csv", "b.csv",
+                                   "--diff-threshold", bad};
+        EXPECT_FALSE(parseCli(v, err).has_value()) << bad;
+        EXPECT_NE(err.find("diff-threshold"), std::string::npos)
+            << err;
+    }
+    // --json / --diff-threshold belong to diff mode only.
+    std::string err;
+    std::vector<std::string> v{"--mode", "loaded", "--json"};
+    EXPECT_FALSE(parseCli(v, err).has_value());
+    v = {"--mode", "loaded", "--diff-threshold", "2"};
+    EXPECT_FALSE(parseCli(v, err).has_value());
+}
+
+TEST(MemoCli, CsvHeaderGrowsTailTier)
+{
+    // The tail tier appends after every existing group and never
+    // reorders them; tail-off headers are untouched.
+    const std::string base =
+        csvHeader(CliMode::Rand, false, false, false, false, false);
+    const std::string tail =
+        csvHeader(CliMode::Rand, false, false, false, false, true);
+    EXPECT_EQ(base.find(",tail_"), std::string::npos);
+    EXPECT_EQ(tail.compare(0, base.size(), base), 0) << tail;
+    for (const char *col :
+         {",tail_k", ",tail_n", ",tail_considered", ",tail_worst_ns",
+          ",tail_kth_ns", ",tail_regime", ",tail_stage",
+          ",tail_stage_ns", ",tail_stack_exact"})
+        EXPECT_NE(tail.find(col), std::string::npos) << col;
+
+    // Pool: hist and tail tiers slot between the base and the fabric
+    // tier, each only when armed.
+    const std::string pool =
+        csvHeader(CliMode::Pool, false, false, false, false, false);
+    EXPECT_EQ(pool.find(",lat_"), std::string::npos);
+    EXPECT_EQ(pool.find(",tail_"), std::string::npos);
+    const std::string poolAll =
+        csvHeader(CliMode::Pool, false, false, true, true, true);
+    EXPECT_NE(poolAll.find(",lat_p99_ns"), std::string::npos);
+    EXPECT_NE(poolAll.find(",tail_worst_ns"), std::string::npos);
+    EXPECT_NE(poolAll.find(",fabric_total_ns"), std::string::npos);
+    EXPECT_LT(poolAll.find(",lat_n"), poolAll.find(",tail_k"));
+    EXPECT_LT(poolAll.find(",tail_k"), poolAll.find(",fabric_reqs"));
 }
 
 TEST(MemoCli, PoolModeAcceptsFabricObservability)
